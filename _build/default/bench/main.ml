@@ -1,0 +1,485 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation (§3) on the synthetic workload suite.
+
+     table1   — dynamic instruction counts and modelled run times
+     table2   — % of dynamic instructions that are spill code
+     figure3  — spill-code composition (evict/resolve × load/store/move)
+     table3   — allocation (compile) time vs. candidate count
+     twopass  — §3.1: two-pass binpacking vs. second chance on wc/eqntott
+     ablation — §2.5/§2.6 options: early second chance, move opt,
+                consistency dataflow variants
+     bechamel — statistically robust allocation-time microbenchmarks
+                (one Bechamel test per Table-3 module and per allocator)
+
+   Run with no argument for everything except `bechamel`. *)
+
+open Lsra_ir
+open Lsra_target
+
+let machine = Machine.alpha_like
+
+let scale =
+  match Sys.getenv_opt "LSRA_BENCH_SCALE" with
+  | Some s -> (try max 1 (int_of_string s) with Failure _ -> 6)
+  | None -> 6
+
+(* ------------------------------------------------------------------ *)
+(* Shared plumbing                                                     *)
+
+type measured = {
+  outcome : Lsra_sim.Interp.outcome;
+  stats : Lsra.Stats.t;
+}
+
+let compile_and_run algo (case : Lsra_workloads.Specbench.case) =
+  let prog = Program.copy case.Lsra_workloads.Specbench.program in
+  let stats = Lsra.Allocator.pipeline algo machine prog in
+  match
+    Lsra_sim.Interp.run machine prog ~input:case.Lsra_workloads.Specbench.input
+  with
+  | Ok outcome -> { outcome; stats }
+  | Error e ->
+    Printf.eprintf "FATAL: %s under %s trapped: %s\n%!"
+      case.Lsra_workloads.Specbench.name
+      (Lsra.Allocator.name algo)
+      e;
+    exit 1
+
+let binpack = Lsra.Allocator.default_second_chance
+let coloring = Lsra.Allocator.Graph_coloring
+
+let cases () = Lsra_workloads.Specbench.all machine ~scale
+
+(* The paper's run-time column: we charge the Cycles model and report
+   seconds at a nominal 500 MHz, the clock of a period Alpha 21164. *)
+let seconds_of_cycles c = float_of_int c /. 500.0e6
+
+let hrule width = print_endline (String.make width '-')
+
+(* ------------------------------------------------------------------ *)
+
+let table1 () =
+  print_endline "Table 1: dynamic instruction counts and run times";
+  print_endline
+    "(binpack = second-chance binpacking, gc = graph coloring; ratios > 1";
+  print_endline " mean the linear-scan executable is slower)";
+  hrule 86;
+  Printf.printf "%-10s %14s %14s %7s %10s %10s %7s\n" "benchmark" "binpack"
+    "gc" "ratio" "bp run(s)" "gc run(s)" "ratio";
+  hrule 86;
+  List.iter
+    (fun (case : Lsra_workloads.Specbench.case) ->
+      let bp = compile_and_run binpack case in
+      let gc = compile_and_run coloring case in
+      let ratio =
+        float_of_int bp.outcome.Lsra_sim.Interp.counts.Lsra_sim.Interp.total
+        /. float_of_int gc.outcome.Lsra_sim.Interp.counts.Lsra_sim.Interp.total
+      in
+      let bt = seconds_of_cycles bp.outcome.Lsra_sim.Interp.counts.cycles in
+      let gt = seconds_of_cycles gc.outcome.Lsra_sim.Interp.counts.cycles in
+      Printf.printf "%-10s %14d %14d %7.3f %10.6f %10.6f %7.3f\n"
+        case.Lsra_workloads.Specbench.name
+        bp.outcome.Lsra_sim.Interp.counts.total
+        gc.outcome.Lsra_sim.Interp.counts.total ratio bt gt (bt /. gt))
+    (cases ());
+  hrule 86;
+  print_newline ()
+
+let table2 () =
+  print_endline
+    "Table 2: percentage of dynamic instructions due to spill code";
+  hrule 46;
+  Printf.printf "%-10s %16s %16s\n" "benchmark" "binpack" "gc";
+  hrule 46;
+  List.iter
+    (fun (case : Lsra_workloads.Specbench.case) ->
+      let pct m =
+        let c = m.outcome.Lsra_sim.Interp.counts in
+        let s = Lsra_sim.Interp.spill_total c in
+        if s = 0 then "0%"
+        else
+          Printf.sprintf "%.3f%%"
+            (100.0 *. float_of_int s /. float_of_int c.Lsra_sim.Interp.total)
+      in
+      let bp = compile_and_run binpack case in
+      let gc = compile_and_run coloring case in
+      Printf.printf "%-10s %16s %16s\n" case.Lsra_workloads.Specbench.name
+        (pct bp) (pct gc))
+    (cases ());
+  hrule 46;
+  print_newline ()
+
+let figure3 () =
+  print_endline
+    "Figure 3: composition of executed spill code, normalised to the";
+  print_endline
+    "total under binpacking (-b = binpacking, -c = coloring); benchmarks";
+  print_endline "with no spill code under either allocator are omitted";
+  hrule 92;
+  Printf.printf "%-12s %8s %8s %8s %8s %8s %8s %8s\n" "bench-scheme"
+    "evict-ld" "evict-st" "evict-mv" "res-ld" "res-st" "res-mv" "total";
+  hrule 92;
+  List.iter
+    (fun (case : Lsra_workloads.Specbench.case) ->
+      let bp = compile_and_run binpack case in
+      let gc = compile_and_run coloring case in
+      let bp_total =
+        Lsra_sim.Interp.spill_total bp.outcome.Lsra_sim.Interp.counts
+      in
+      let gc_total =
+        Lsra_sim.Interp.spill_total gc.outcome.Lsra_sim.Interp.counts
+      in
+      if bp_total > 0 || gc_total > 0 then begin
+        let base = float_of_int (max bp_total 1) in
+        let row suffix (c : Lsra_sim.Interp.counts) =
+          let n x = float_of_int x /. base in
+          Printf.printf "%-12s %8.3f %8.3f %8.3f %8.3f %8.3f %8.3f %8.3f\n"
+            (case.Lsra_workloads.Specbench.name ^ suffix)
+            (n c.evict_loads) (n c.evict_stores) (n c.evict_moves)
+            (n c.resolve_loads) (n c.resolve_stores) (n c.resolve_moves)
+            (n (Lsra_sim.Interp.spill_total c))
+        in
+        row "-b" bp.outcome.Lsra_sim.Interp.counts;
+        row "-c" gc.outcome.Lsra_sim.Interp.counts
+      end)
+    (cases ());
+  hrule 92;
+  print_newline ()
+
+(* ------------------------------------------------------------------ *)
+
+let best_of_5 f =
+  let best = ref infinity in
+  for _ = 1 to 5 do
+    let t0 = Sys.time () in
+    f ();
+    best := min !best (Sys.time () -. t0)
+  done;
+  !best
+
+let table3 () =
+  print_endline "Table 3: allocation time (seconds, best of 5 runs)";
+  print_endline
+    "(candidates and interference-graph edges are per procedure, summed";
+  print_endline " over all coloring iterations, as in the paper)";
+  hrule 78;
+  Printf.printf "%-10s %10s %12s %12s %12s %8s\n" "module" "cands" "edges"
+    "coloring" "binpack" "gc/bp";
+  hrule 78;
+  List.iter
+    (fun shape ->
+      let prog = Lsra_workloads.Pressure.build machine shape in
+      let gc_stats = ref (Lsra.Stats.create ()) in
+      let t_gc =
+        best_of_5 (fun () ->
+            let p = Program.copy prog in
+            gc_stats := Lsra.Coloring.run_program machine p)
+      in
+      let t_bp =
+        best_of_5 (fun () ->
+            let p = Program.copy prog in
+            ignore (Lsra.Second_chance.run_program machine p))
+      in
+      let nproc = shape.Lsra_workloads.Pressure.procs in
+      Printf.printf "%-10s %10d %12d %12.4f %12.4f %8.2f\n"
+        shape.Lsra_workloads.Pressure.sname
+        shape.Lsra_workloads.Pressure.candidates
+        (!gc_stats.Lsra.Stats.interference_edges / nproc)
+        t_gc t_bp (t_gc /. t_bp))
+    [
+      Lsra_workloads.Pressure.cvrin;
+      Lsra_workloads.Pressure.twldrv;
+      Lsra_workloads.Pressure.fpppp;
+    ];
+  hrule 78;
+  print_endline "sweep: single procedure, growing candidate count";
+  hrule 78;
+  Printf.printf "%-10s %10s %12s %12s %8s\n" "cands" "window" "coloring"
+    "binpack" "gc/bp";
+  List.iter
+    (fun (candidates, window, clique) ->
+      let prog =
+        Program.create ~main:"p0"
+          [
+            ( "p0",
+              Lsra_workloads.Pressure.proc machine ~name:"p0" ~candidates
+                ~window ~clique );
+          ]
+      in
+      let t_gc =
+        best_of_5 (fun () ->
+            let p = Program.copy prog in
+            ignore (Lsra.Coloring.run_program machine p))
+      in
+      let t_bp =
+        best_of_5 (fun () ->
+            let p = Program.copy prog in
+            ignore (Lsra.Second_chance.run_program machine p))
+      in
+      Printf.printf "%-10d %10d %12.4f %12.4f %8.2f\n" candidates window t_gc
+        t_bp (t_gc /. t_bp))
+    [
+      (125, 5, 0);
+      (250, 5, 0);
+      (500, 6, 0);
+      (1000, 8, 0);
+      (2000, 10, 40);
+      (4000, 12, 44);
+      (8000, 16, 48);
+    ];
+  hrule 78;
+  print_newline ()
+
+(* ------------------------------------------------------------------ *)
+
+let twopass () =
+  print_endline "Two-pass binpacking vs. second chance (paper section 3.1):";
+  print_endline
+    "wc degrades badly without second chance; eqntott barely changes";
+  hrule 70;
+  Printf.printf "%-10s %14s %14s %9s\n" "benchmark" "second-chance"
+    "two-pass" "tp/sc";
+  hrule 70;
+  List.iter
+    (fun name ->
+      match Lsra_workloads.Specbench.find machine ~scale name with
+      | None -> ()
+      | Some case ->
+        let sc = compile_and_run binpack case in
+        let tp = compile_and_run Lsra.Allocator.Two_pass case in
+        Printf.printf "%-10s %14d %14d %9.3f\n" name
+          sc.outcome.Lsra_sim.Interp.counts.total
+          tp.outcome.Lsra_sim.Interp.counts.total
+          (float_of_int tp.outcome.Lsra_sim.Interp.counts.total
+          /. float_of_int sc.outcome.Lsra_sim.Interp.counts.total))
+    [ "wc"; "eqntott" ];
+  hrule 70;
+  print_newline ()
+
+let ablation () =
+  print_endline "Ablations: second-chance options (dynamic instructions)";
+  hrule 96;
+  Printf.printf "%-10s %12s %12s %12s %12s %12s %12s\n" "benchmark" "full"
+    "no-esc" "no-moveopt" "conservative" "cleanup" "poletto";
+  hrule 96;
+  let mk ~esc ~mo ~cons =
+    Lsra.Allocator.Second_chance
+      {
+        Lsra.Binpack.early_second_chance = esc;
+        move_opt = mo;
+        consistency = cons;
+      }
+  in
+  List.iter
+    (fun (case : Lsra_workloads.Specbench.case) ->
+      let t algo =
+        (compile_and_run algo case).outcome.Lsra_sim.Interp.counts.total
+      in
+      let cleaned =
+        let prog = Program.copy case.Lsra_workloads.Specbench.program in
+        ignore (Lsra.Allocator.pipeline ~cleanup:true binpack machine prog);
+        match
+          Lsra_sim.Interp.run machine prog
+            ~input:case.Lsra_workloads.Specbench.input
+        with
+        | Ok o -> o.Lsra_sim.Interp.counts.Lsra_sim.Interp.total
+        | Error _ -> -1
+      in
+      Printf.printf "%-10s %12d %12d %12d %12d %12d %12d\n"
+        case.Lsra_workloads.Specbench.name
+        (t (mk ~esc:true ~mo:true ~cons:Lsra.Binpack.Iterative))
+        (t (mk ~esc:false ~mo:true ~cons:Lsra.Binpack.Iterative))
+        (t (mk ~esc:true ~mo:false ~cons:Lsra.Binpack.Iterative))
+        (t (mk ~esc:true ~mo:true ~cons:Lsra.Binpack.Conservative))
+        cleaned
+        (t Lsra.Allocator.Poletto))
+    (cases ());
+  hrule 96;
+  print_newline ()
+
+(* ------------------------------------------------------------------ *)
+
+(* Layout sensitivity: the linear scan's quality depends on the block
+   layout it walks. Compare resolution traffic with the builder's layout,
+   an adversarially reversed one, and RPO, across random programs. *)
+let layout () =
+  print_endline
+    "Layout ablation: static resolution instructions inserted by the";
+  print_endline
+    "linear scan under three block layouts (sum over 40 random programs)";
+  hrule 60;
+  let m = Machine.small ~int_regs:6 ~float_regs:6 () in
+  let totals = Array.make 3 0 in
+  for seed = 0 to 39 do
+    let params =
+      { Lsra_workloads.Gen.default_params with Lsra_workloads.Gen.seed }
+    in
+    let prog = Lsra_workloads.Gen.program ~params m in
+    let resolution f =
+      let f = Func.copy f in
+      let stats = Lsra.Second_chance.run m f in
+      stats.Lsra.Stats.resolve_loads + stats.Lsra.Stats.resolve_stores
+      + stats.Lsra.Stats.resolve_moves
+    in
+    List.iter
+      (fun (_, f) ->
+        totals.(0) <- totals.(0) + resolution f;
+        let rev = Func.copy f in
+        let cfg = Func.cfg rev in
+        (match Array.to_list (Cfg.blocks cfg) |> List.map Block.label with
+        | entry :: rest -> Cfg.reorder cfg (entry :: List.rev rest)
+        | [] -> ());
+        totals.(1) <- totals.(1) + resolution rev;
+        let rpo = Func.copy rev in
+        Lsra.Layout.apply_rpo rpo;
+        totals.(2) <- totals.(2) + resolution rpo)
+      (Program.funcs prog)
+  done;
+  Printf.printf "%-24s %10d
+" "builder layout" totals.(0);
+  Printf.printf "%-24s %10d
+" "reversed (adversarial)" totals.(1);
+  Printf.printf "%-24s %10d
+" "reverse postorder" totals.(2);
+  hrule 60;
+  print_newline ()
+
+(* Frame compaction: slots before/after Slots.run across the workloads. *)
+let frames () =
+  print_endline "Frame compaction: spill slots per benchmark (binpack on a";
+  print_endline "small machine to force spills)";
+  hrule 60;
+  Printf.printf "%-12s %10s %10s %10s
+" "benchmark" "slots" "compacted"
+    "saved";
+  hrule 60;
+  let m =
+    Machine.small ~int_regs:7 ~float_regs:7 ~int_caller_saved:4
+      ~float_caller_saved:4 ()
+  in
+  List.iter
+    (fun (case : Lsra_workloads.Specbench.case) ->
+      let prog = Program.copy case.Lsra_workloads.Specbench.program in
+      ignore (Lsra.Allocator.pipeline binpack m prog);
+      let before =
+        List.fold_left (fun acc (_, f) -> acc + Func.n_slots f) 0
+          (Program.funcs prog)
+      in
+      let saved = Lsra.Slots.run_program prog in
+      if before > 0 then
+        Printf.printf "%-12s %10d %10d %10d
+"
+          case.Lsra_workloads.Specbench.name before (before - saved) saved)
+    (Lsra_workloads.Specbench.all m ~scale:1);
+  hrule 60;
+  print_newline ()
+
+(* The Minilang corpus through both principal allocators: the same
+   quality comparison as Table 1, but on code arriving through a real
+   frontend instead of the synthetic builders. *)
+let corpus () =
+  print_endline "Minilang corpus: dynamic instructions, binpack vs coloring";
+  hrule 66;
+  Printf.printf "%-12s %14s %14s %8s\n" "program" "binpack" "gc" "ratio";
+  hrule 66;
+  List.iter
+    (fun { Lsra_workloads.Mini_corpus.mname; source; minput } ->
+      let prog = Lsra_frontend.Minilang.compile machine source in
+      let run algo =
+        let p = Program.copy prog in
+        ignore (Lsra.Allocator.pipeline algo machine p);
+        match Lsra_sim.Interp.run machine p ~input:minput with
+        | Ok o -> o.Lsra_sim.Interp.counts.Lsra_sim.Interp.total
+        | Error e -> failwith (mname ^ ": " ^ e)
+      in
+      let bp = run binpack and gc = run coloring in
+      Printf.printf "%-12s %14d %14d %8.3f\n" mname bp gc
+        (float_of_int bp /. float_of_int gc))
+    Lsra_workloads.Mini_corpus.all;
+  hrule 66;
+  print_newline ()
+
+let bechamel () =
+  let open Bechamel in
+  let open Toolkit in
+  print_endline
+    "Bechamel: allocation-time microbenchmarks (ns per module allocation)";
+  let test_of_module name shape algo_name algo =
+    let prog = Lsra_workloads.Pressure.build machine shape in
+    Test.make
+      ~name:(Printf.sprintf "%s/%s" name algo_name)
+      (Staged.stage (fun () ->
+           let p = Program.copy prog in
+           ignore (Lsra.Allocator.run_program algo machine p)))
+  in
+  let tests =
+    List.concat_map
+      (fun (name, shape) ->
+        [
+          test_of_module name shape "binpack" binpack;
+          test_of_module name shape "coloring" coloring;
+          test_of_module name shape "twopass" Lsra.Allocator.Two_pass;
+          test_of_module name shape "poletto" Lsra.Allocator.Poletto;
+        ])
+      [
+        ("cvrin", Lsra_workloads.Pressure.cvrin);
+        ("twldrv", Lsra_workloads.Pressure.twldrv);
+      ]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:50 ~quota:(Time.second 2.0) ~stabilize:false ()
+  in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  List.iter
+    (fun test ->
+      List.iter
+        (fun elt ->
+          let raw = Benchmark.run cfg instances elt in
+          let result = Analyze.one ols Instance.monotonic_clock raw in
+          let est =
+            match Analyze.OLS.estimates result with
+            | Some [ e ] -> Printf.sprintf "%.0f ns" e
+            | Some _ | None -> "n/a"
+          in
+          Printf.printf "%-24s %16s\n%!" (Test.Elt.name elt) est)
+        (Test.elements test))
+    tests;
+  print_newline ()
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let which = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
+  Printf.printf
+    "second-chance binpacking reproduction — machine: %s, scale: %d\n\n"
+    (Machine.name machine) scale;
+  match which with
+  | "table1" -> table1 ()
+  | "table2" -> table2 ()
+  | "figure3" -> figure3 ()
+  | "table3" -> table3 ()
+  | "twopass" -> twopass ()
+  | "ablation" | "ablations" -> ablation ()
+  | "layout" -> layout ()
+  | "frames" -> frames ()
+  | "corpus" -> corpus ()
+  | "bechamel" -> bechamel ()
+  | "all" ->
+    table1 ();
+    table2 ();
+    figure3 ();
+    table3 ();
+    twopass ();
+    ablation ();
+    layout ();
+    frames ();
+    corpus ()
+  | other ->
+    Printf.eprintf
+      "unknown benchmark %S (expected \
+       table1|table2|figure3|table3|twopass|ablation|layout|frames|corpus|bechamel|all)\n"
+      other;
+    exit 2

@@ -1,0 +1,262 @@
+(* lsra_tool: command-line driver over the library.
+
+     alloc  — parse a textual program, register-allocate it, print it
+     run    — interpret a program (before or after allocation)
+     stats  — allocate and report static + dynamic spill statistics
+     gen    — emit a random well-defined program
+     case   — emit one of the paper's synthetic benchmarks
+*)
+
+open Lsra_ir
+open Lsra_target
+open Cmdliner
+
+let read_input = function
+  | "-" -> In_channel.input_all stdin
+  | path -> In_channel.with_open_text path In_channel.input_all
+
+let machine_conv =
+  let parse s =
+    match String.split_on_char ':' s with
+    | [ "alpha" ] -> Ok Machine.alpha_like
+    | [ "small" ] -> Ok (Machine.small ())
+    | [ "small"; ints; floats ] -> (
+      match int_of_string_opt ints, int_of_string_opt floats with
+      | Some i, Some f when i >= 3 && f >= 3 ->
+        Ok
+          (Machine.small ~int_regs:i ~float_regs:f
+             ~int_caller_saved:(max 2 (i / 2))
+             ~float_caller_saved:(max 2 (f / 2))
+             ())
+      | _ -> Error (`Msg "expected small:<ints>:<floats> with counts >= 3"))
+    | _ -> Error (`Msg (Printf.sprintf "unknown machine %S" s))
+  in
+  let print fmt m = Format.pp_print_string fmt (Machine.name m) in
+  Arg.conv (parse, print)
+
+let algo_conv =
+  let parse s =
+    match s with
+    | "binpack" | "second-chance" -> Ok Lsra.Allocator.default_second_chance
+    | "gc" | "coloring" -> Ok Lsra.Allocator.Graph_coloring
+    | "twopass" -> Ok Lsra.Allocator.Two_pass
+    | "poletto" -> Ok Lsra.Allocator.Poletto
+    | _ -> Error (`Msg (Printf.sprintf "unknown allocator %S" s))
+  in
+  let print fmt a = Format.pp_print_string fmt (Lsra.Allocator.short_name a) in
+  Arg.conv (parse, print)
+
+let file_arg =
+  Arg.(
+    required
+    & pos 0 (some string) None
+    & info [] ~docv:"FILE" ~doc:"Input program ('-' for stdin).")
+
+let machine_arg =
+  Arg.(
+    value
+    & opt machine_conv Machine.alpha_like
+    & info [ "m"; "machine" ] ~docv:"MACHINE"
+        ~doc:"Target machine: alpha, small, or small:INTS:FLOATS.")
+
+let algo_arg =
+  Arg.(
+    value
+    & opt algo_conv Lsra.Allocator.default_second_chance
+    & info [ "a"; "allocator" ] ~docv:"ALGO"
+        ~doc:"Allocator: binpack, gc, twopass or poletto.")
+
+let verify_arg =
+  Arg.(
+    value & flag
+    & info [ "verify" ] ~doc:"Check the allocation with the abstract verifier.")
+
+let load file = Lsra_text.Ir_text.of_string (read_input file)
+
+let handle_errors f =
+  try f () with
+  | Lsra_frontend.Parser.Error { line; msg } ->
+    Printf.eprintf "minilang parse error at line %d: %s\n" line msg;
+    exit 1
+  | Lsra_frontend.Lower.Error msg ->
+    Printf.eprintf "minilang error: %s\n" msg;
+    exit 1
+  | Lsra_text.Ir_text.Parse_error { line; msg } ->
+    Printf.eprintf "parse error at line %d: %s\n" line msg;
+    exit 1
+  | Cfg.Malformed msg ->
+    Printf.eprintf "malformed program: %s\n" msg;
+    exit 1
+  | Lsra.Verify.Mismatch { where; what } ->
+    Printf.eprintf "verification failed at '%s': %s\n" where what;
+    exit 1
+  | Lsra.Precheck.Rejected msg ->
+    Printf.eprintf "input rejected: %s\n" msg;
+    exit 1
+
+let alloc_cmd =
+  let run file machine algo verify =
+    handle_errors (fun () ->
+        let prog = load file in
+        ignore
+          (Lsra.Allocator.pipeline ~precheck:true ~verify algo machine prog);
+        print_string (Lsra_text.Ir_text.to_string prog))
+  in
+  Cmd.v
+    (Cmd.info "alloc" ~doc:"Register-allocate a program and print it.")
+    Term.(const run $ file_arg $ machine_arg $ algo_arg $ verify_arg)
+
+let input_arg =
+  Arg.(
+    value & opt string ""
+    & info [ "input" ] ~docv:"STRING" ~doc:"Input fed to ext_getc.")
+
+let fuel_arg =
+  Arg.(
+    value
+    & opt int 200_000_000
+    & info [ "fuel" ] ~doc:"Maximum dynamic instructions before aborting.")
+
+let run_cmd =
+  let run file machine input fuel =
+    handle_errors (fun () ->
+        let prog = load file in
+        match Lsra_sim.Interp.run ~fuel machine prog ~input with
+        | Ok o ->
+          print_string o.Lsra_sim.Interp.output;
+          Printf.printf "; ret = %s\n"
+            (Lsra_sim.Value.to_string o.Lsra_sim.Interp.ret);
+          Printf.printf "; instructions = %d, cycles = %d, spills = %d\n"
+            o.Lsra_sim.Interp.counts.Lsra_sim.Interp.total
+            o.Lsra_sim.Interp.counts.Lsra_sim.Interp.cycles
+            (Lsra_sim.Interp.spill_total o.Lsra_sim.Interp.counts)
+        | Error e ->
+          Printf.eprintf "trap: %s\n" e;
+          exit 1)
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Interpret a program and print its output.")
+    Term.(const run $ file_arg $ machine_arg $ input_arg $ fuel_arg)
+
+let stats_cmd =
+  let run file machine algo input =
+    handle_errors (fun () ->
+        let prog = load file in
+        let stats =
+          Lsra.Allocator.pipeline ~precheck:true ~verify:true algo machine
+            prog
+        in
+        Format.printf "static allocation statistics:@.%a@." Lsra.Stats.pp
+          stats;
+        Printf.printf "allocation time: %.6fs\n" stats.Lsra.Stats.alloc_time;
+        match Lsra_sim.Interp.run machine prog ~input with
+        | Ok o ->
+          let c = o.Lsra_sim.Interp.counts in
+          Printf.printf
+            "dynamic: %d instructions, %d cycles, %d spill (%.3f%%)\n"
+            c.Lsra_sim.Interp.total c.Lsra_sim.Interp.cycles
+            (Lsra_sim.Interp.spill_total c)
+            (100.0
+            *. float_of_int (Lsra_sim.Interp.spill_total c)
+            /. float_of_int (max 1 c.Lsra_sim.Interp.total))
+        | Error e -> Printf.printf "dynamic: trapped (%s)\n" e)
+  in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:"Allocate, verify, and report static and dynamic statistics.")
+    Term.(const run $ file_arg $ machine_arg $ algo_arg $ input_arg)
+
+let gen_cmd =
+  let seed_arg =
+    Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Generator seed.")
+  in
+  let size_arg =
+    Arg.(value & opt int 20 & info [ "size" ] ~doc:"Statements per function.")
+  in
+  let run machine seed size =
+    let params =
+      {
+        Lsra_workloads.Gen.default_params with
+        Lsra_workloads.Gen.seed;
+        n_stmts = size;
+      }
+    in
+    let prog = Lsra_workloads.Gen.program ~params machine in
+    print_string (Lsra_text.Ir_text.to_string prog)
+  in
+  Cmd.v
+    (Cmd.info "gen" ~doc:"Emit a random well-defined program.")
+    Term.(const run $ machine_arg $ seed_arg $ size_arg)
+
+let case_cmd =
+  let name_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"NAME"
+          ~doc:
+            "Benchmark name: alvinn doduc eqntott espresso fpppp li tomcatv \
+             compress m88ksim sort wc.")
+  in
+  let scale_arg =
+    Arg.(value & opt int 1 & info [ "scale" ] ~doc:"Workload scale factor.")
+  in
+  let run machine name scale =
+    match Lsra_workloads.Specbench.find machine ~scale name with
+    | Some case ->
+      print_string
+        (Lsra_text.Ir_text.to_string case.Lsra_workloads.Specbench.program)
+    | None ->
+      Printf.eprintf "unknown benchmark %S\n" name;
+      exit 1
+  in
+  Cmd.v
+    (Cmd.info "case" ~doc:"Emit one of the paper's synthetic benchmarks.")
+    Term.(const run $ machine_arg $ name_arg $ scale_arg)
+
+let compile_cmd =
+  let run file machine =
+    handle_errors (fun () ->
+        let prog = Lsra_frontend.Minilang.compile machine (read_input file) in
+        print_string (Lsra_text.Ir_text.to_string prog))
+  in
+  Cmd.v
+    (Cmd.info "compile"
+       ~doc:"Compile a Minilang source file to the textual IR.")
+    Term.(const run $ file_arg $ machine_arg)
+
+let exec_cmd =
+  let run file machine algo input =
+    handle_errors (fun () ->
+        let prog = Lsra_frontend.Minilang.compile machine (read_input file) in
+        ignore
+          (Lsra.Allocator.pipeline ~precheck:true ~verify:true algo machine
+             prog);
+        match Lsra_sim.Interp.run machine prog ~input with
+        | Ok o ->
+          print_string o.Lsra_sim.Interp.output;
+          exit
+            (match o.Lsra_sim.Interp.ret with
+            | Lsra_sim.Value.Int k -> k land 127
+            | Lsra_sim.Value.Flt _ | Lsra_sim.Value.Undef -> 0)
+        | Error e ->
+          Printf.eprintf "trap: %s\n" e;
+          exit 1)
+  in
+  Cmd.v
+    (Cmd.info "exec"
+       ~doc:
+         "Compile a Minilang source file, register-allocate it (verified) \
+          and run it.")
+    Term.(const run $ file_arg $ machine_arg $ algo_arg $ input_arg)
+
+let () =
+  let default = Term.(ret (const (`Help (`Pager, None)))) in
+  exit
+    (Cmd.eval
+       (Cmd.group ~default
+          (Cmd.info "lsra_tool" ~version:"1.0"
+             ~doc:
+               "Second-chance binpacking register allocation — tools over \
+                the textual IR.")
+          [ alloc_cmd; run_cmd; stats_cmd; gen_cmd; case_cmd; compile_cmd; exec_cmd ]))

@@ -1,0 +1,1 @@
+examples/figure1.ml: Builder Format Func Instr List Liveness Loop Lsra Lsra_analysis Lsra_ir Lsra_target Machine Operand Rclass Temp

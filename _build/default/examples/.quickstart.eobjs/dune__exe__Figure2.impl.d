@@ -1,0 +1,1 @@
+examples/figure2.ml: Builder Format Func Instr Lsra Lsra_ir Lsra_sim Lsra_target Machine Operand Program Rclass

@@ -1,0 +1,1 @@
+examples/jit_compile_time.ml: Func List Lsra Lsra_ir Lsra_target Lsra_workloads Machine Printf Program Sys

@@ -1,0 +1,1 @@
+examples/jit_compile_time.mli:

@@ -1,0 +1,1 @@
+examples/minilang_demo.ml: Format Func Lsra Lsra_frontend Lsra_ir Lsra_sim Lsra_target Machine Printf Program

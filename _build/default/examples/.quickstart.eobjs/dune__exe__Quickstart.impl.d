@@ -1,0 +1,1 @@
+examples/quickstart.ml: Builder Format Func Instr Loc Lsra Lsra_ir Lsra_sim Lsra_target Machine Operand Program Rclass

@@ -1,0 +1,1 @@
+examples/wc_second_chance.ml: List Lsra Lsra_ir Lsra_sim Lsra_target Lsra_workloads Machine Printf Program

@@ -1,0 +1,1 @@
+examples/wc_second_chance.mli:

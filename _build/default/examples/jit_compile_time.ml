@@ -1,0 +1,59 @@
+(* The dynamic-code-generation motivation (paper §1, §4): a JIT cares
+   about cycles spent per instruction compiled. This example sweeps
+   procedure size and prints allocation time per IR instruction for the
+   linear-scan allocators against graph coloring, showing where coloring's
+   quadratic graph construction starts to hurt — the paper's Table 3
+   story, presented as a compile-speed curve.
+
+     dune exec examples/jit_compile_time.exe
+*)
+
+open Lsra_ir
+open Lsra_target
+
+let time_alloc algo machine prog =
+  (* best of 3 to smooth noise *)
+  let best = ref infinity in
+  for _ = 1 to 3 do
+    let p = Program.copy prog in
+    let t0 = Sys.time () in
+    ignore (Lsra.Allocator.run_program algo machine p);
+    best := min !best (Sys.time () -. t0)
+  done;
+  !best
+
+let () =
+  let machine = Machine.alpha_like in
+  Printf.printf "%-12s %10s %14s %14s %14s\n" "candidates" "instrs"
+    "binpack (µs)" "coloring (µs)" "poletto (µs)";
+  List.iter
+    (fun (candidates, window, clique) ->
+      let prog =
+        Program.create ~main:"p0"
+          [
+            ( "p0",
+              Lsra_workloads.Pressure.proc machine ~name:"p0" ~candidates
+                ~window ~clique );
+          ]
+      in
+      let n_instrs =
+        List.fold_left
+          (fun acc (_, f) -> acc + Func.n_instrs f)
+          0 (Program.funcs prog)
+      in
+      let t_bp = time_alloc Lsra.Allocator.default_second_chance machine prog in
+      let t_gc = time_alloc Lsra.Allocator.Graph_coloring machine prog in
+      let t_po = time_alloc Lsra.Allocator.Poletto machine prog in
+      Printf.printf "%-12d %10d %14.1f %14.1f %14.1f\n" candidates n_instrs
+        (t_bp *. 1e6) (t_gc *. 1e6) (t_po *. 1e6))
+    [
+      (100, 5, 0);
+      (400, 6, 0);
+      (1600, 8, 0);
+      (3200, 10, 40);
+      (6400, 14, 48);
+    ];
+  Printf.printf
+    "\nFor a JIT the flat linear-scan curve is the point: allocation cost\n\
+     per instruction stays roughly constant, while coloring grows with\n\
+     the interference graph (and its spill/rebuild iterations).\n"

@@ -1,0 +1,56 @@
+(* Minilang end-to-end: compile a small source program to the IR, show
+   the code before and after second-chance binpacking on a tiny machine,
+   and run both.
+
+     dune exec examples/minilang_demo.exe
+*)
+
+open Lsra_ir
+open Lsra_target
+
+let source =
+  {|# greatest common divisor, iterated over a few pairs
+fn gcd(a, b) {
+  while (b != 0) {
+    var t = b;
+    b = a % b;
+    a = t;
+  }
+  return a;
+}
+
+fn main() {
+  var total = 0;
+  var i = 1;
+  while (i < 12) {
+    total = total + gcd(i * 12, i * 18 + 6);
+    i = i + 1;
+  }
+  print(total);
+  return total;
+}|}
+
+let () =
+  let machine = Machine.small ~int_regs:5 ~float_regs:4 () in
+  print_endline "Source:";
+  print_endline source;
+  print_newline ();
+  let prog = Lsra_frontend.Minilang.compile machine source in
+  Format.printf "Lowered IR (before allocation):@.%a@.@." Func.pp
+    (Program.find_exn prog "gcd");
+  (match Lsra_sim.Interp.run machine prog ~input:"" with
+  | Ok o -> Printf.printf "Reference output: %s\n" o.Lsra_sim.Interp.output
+  | Error e -> failwith e);
+  let stats =
+    Lsra.Allocator.pipeline ~precheck:true ~verify:true
+      Lsra.Allocator.default_second_chance machine prog
+  in
+  Format.printf "@.gcd after allocation on %s:@.%a@.@." (Machine.name machine)
+    Func.pp
+    (Program.find_exn prog "gcd");
+  Format.printf "%a@.@." Lsra.Stats.pp stats;
+  match Lsra_sim.Interp.run machine prog ~input:"" with
+  | Ok o ->
+    Printf.printf "Allocated output: %s(%d dynamic instructions)\n"
+      o.Lsra_sim.Interp.output o.Lsra_sim.Interp.counts.Lsra_sim.Interp.total
+  | Error e -> failwith e

@@ -1,0 +1,59 @@
+(* Quickstart: build a function with the IR builder, allocate registers
+   with second-chance binpacking, and execute both versions.
+
+     dune exec examples/quickstart.exe
+*)
+
+open Lsra_ir
+open Lsra_target
+module B = Builder
+
+let () =
+  (* sum of squares below 10, on a deliberately tiny machine so that the
+     allocator has to work for its living *)
+  let machine = Machine.small ~int_regs:4 ~float_regs:4 () in
+  let b = B.create ~name:"main" in
+  let acc = B.temp b Rclass.Int ~name:"acc" in
+  let i = B.temp b Rclass.Int ~name:"i" in
+  let sq = B.temp b Rclass.Int ~name:"sq" in
+  B.start_block b "entry";
+  B.li b acc 0;
+  B.li b i 0;
+  B.start_block b "loop";
+  B.bin b Instr.Mul sq (Operand.temp i) (Operand.temp i);
+  B.bin b Instr.Add acc (Operand.temp acc) (Operand.temp sq);
+  B.bin b Instr.Add i (Operand.temp i) (Operand.int 1);
+  B.branch b Instr.Lt (Operand.temp i) (Operand.int 10) ~ifso:"loop"
+    ~ifnot:"exit";
+  B.start_block b "exit";
+  B.move b (Loc.Reg (Machine.int_ret machine)) (Operand.temp acc);
+  B.ret b;
+  let func = B.finish b in
+  let prog = Program.create ~main:"main" [ ("main", func) ] in
+
+  Format.printf "@[<v>Before allocation:@,%a@,@]@." Func.pp func;
+
+  (* run the reference (temporaries interpreted directly) *)
+  (match Lsra_sim.Interp.run machine prog ~input:"" with
+  | Ok o ->
+    Format.printf "Reference result: %s@.@."
+      (Lsra_sim.Value.to_string o.Lsra_sim.Interp.ret)
+  | Error e -> failwith e);
+
+  (* allocate a copy and run it *)
+  let allocated = Program.copy prog in
+  let stats =
+    Lsra.Allocator.pipeline ~verify:true Lsra.Allocator.default_second_chance
+      machine allocated
+  in
+  let func' = Program.find_exn allocated "main" in
+  Format.printf "@[<v>After second-chance binpacking (%d registers):@,%a@,@]@."
+    (Machine.n_regs machine Rclass.Int)
+    Func.pp func';
+  Format.printf "Spill statistics:@.%a@.@." Lsra.Stats.pp stats;
+  match Lsra_sim.Interp.run machine allocated ~input:"" with
+  | Ok o ->
+    Format.printf "Allocated result: %s (executed %d instructions)@."
+      (Lsra_sim.Value.to_string o.Lsra_sim.Interp.ret)
+      o.Lsra_sim.Interp.counts.Lsra_sim.Interp.total
+  | Error e -> failwith e

@@ -1,0 +1,50 @@
+(* Allocator shootout: all four allocators on every synthetic benchmark,
+   on a machine small enough that everyone has to spill. Prints dynamic
+   instructions, spill operations and allocation time side by side — a
+   compact view of the paper's quality/speed trade-off.
+
+     dune exec examples/shootout.exe
+*)
+
+open Lsra_ir
+open Lsra_target
+
+let algorithms =
+  [
+    ("binpack", Lsra.Allocator.default_second_chance);
+    ("coloring", Lsra.Allocator.Graph_coloring);
+    ("two-pass", Lsra.Allocator.Two_pass);
+    ("poletto", Lsra.Allocator.Poletto);
+  ]
+
+let () =
+  let machine =
+    Machine.small ~int_regs:8 ~float_regs:8 ~int_caller_saved:4
+      ~float_caller_saved:4 ()
+  in
+  Printf.printf "machine: %s\n\n" (Machine.name machine);
+  Printf.printf "%-10s %-10s %12s %10s %12s\n" "benchmark" "allocator"
+    "dyn instrs" "spill ops" "alloc time";
+  print_endline (String.make 60 '-');
+  List.iter
+    (fun (case : Lsra_workloads.Specbench.case) ->
+      List.iter
+        (fun (name, algo) ->
+          let prog = Program.copy case.Lsra_workloads.Specbench.program in
+          let stats = Lsra.Allocator.pipeline ~verify:true algo machine prog in
+          match
+            Lsra_sim.Interp.run machine prog
+              ~input:case.Lsra_workloads.Specbench.input
+          with
+          | Ok o ->
+            Printf.printf "%-10s %-10s %12d %10d %10.2fms\n"
+              case.Lsra_workloads.Specbench.name name
+              o.Lsra_sim.Interp.counts.Lsra_sim.Interp.total
+              (Lsra_sim.Interp.spill_total o.Lsra_sim.Interp.counts)
+              (stats.Lsra.Stats.alloc_time *. 1000.0)
+          | Error e ->
+            Printf.printf "%-10s %-10s TRAP: %s\n"
+              case.Lsra_workloads.Specbench.name name e)
+        algorithms;
+      print_endline (String.make 60 '-'))
+    (Lsra_workloads.Specbench.all machine ~scale:2)

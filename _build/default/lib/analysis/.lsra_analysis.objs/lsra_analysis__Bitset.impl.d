@@ -1,0 +1,1 @@
+lib/analysis/bitset.ml: Array Format List Printf String Sys

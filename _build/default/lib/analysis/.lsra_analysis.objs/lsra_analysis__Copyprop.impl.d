@@ -1,0 +1,1 @@
+lib/analysis/copyprop.ml: Array Block Cfg Func Hashtbl Instr List Loc Lsra_ir Operand Program Temp

@@ -1,0 +1,1 @@
+lib/analysis/copyprop.mli: Func Lsra_ir Program

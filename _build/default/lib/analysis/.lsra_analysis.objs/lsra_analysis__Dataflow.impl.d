@@ -1,0 +1,1 @@
+lib/analysis/dataflow.ml: Array Bitset Block Cfg Hashtbl List Lsra_ir

@@ -1,0 +1,1 @@
+lib/analysis/dce.ml: Array Bitset Block Cfg Func Instr List Liveness Loc Lsra_ir Temp

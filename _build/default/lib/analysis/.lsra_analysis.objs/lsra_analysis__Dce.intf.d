@@ -1,0 +1,1 @@
+lib/analysis/dce.mli: Func Lsra_ir

@@ -1,0 +1,1 @@
+lib/analysis/dom.ml: Array Block Cfg Hashtbl List Lsra_ir

@@ -1,0 +1,1 @@
+lib/analysis/liveness.ml: Array Bitset Block Cfg Dataflow Func Instr List Loc Lsra_ir Option Temp

@@ -1,0 +1,1 @@
+lib/analysis/loop.ml: Array Bitset Block Cfg Dom Hashtbl List Lsra_ir

@@ -1,0 +1,1 @@
+lib/analysis/loop.mli: Cfg Lsra_ir

@@ -1,0 +1,99 @@
+type t = { width : int; words : int array }
+
+let bits_per_word = Sys.int_size
+
+let nwords width = (width + bits_per_word - 1) / bits_per_word
+
+let create width =
+  if width < 0 then invalid_arg "Bitset.create: negative width";
+  { width; words = Array.make (max 1 (nwords width)) 0 }
+
+let width t = t.width
+
+let check t i =
+  if i < 0 || i >= t.width then
+    invalid_arg (Printf.sprintf "Bitset: index %d out of [0,%d)" i t.width)
+
+let add t i =
+  check t i;
+  let w = i / bits_per_word and b = i mod bits_per_word in
+  t.words.(w) <- t.words.(w) lor (1 lsl b)
+
+let remove t i =
+  check t i;
+  let w = i / bits_per_word and b = i mod bits_per_word in
+  t.words.(w) <- t.words.(w) land lnot (1 lsl b)
+
+let mem t i =
+  check t i;
+  let w = i / bits_per_word and b = i mod bits_per_word in
+  t.words.(w) land (1 lsl b) <> 0
+
+let clear t = Array.fill t.words 0 (Array.length t.words) 0
+
+let copy t = { width = t.width; words = Array.copy t.words }
+
+let assign ~dst ~src =
+  if dst.width <> src.width then invalid_arg "Bitset.assign: width mismatch";
+  Array.blit src.words 0 dst.words 0 (Array.length src.words)
+
+let binop name f ~dst ~src =
+  if dst.width <> src.width then
+    invalid_arg (Printf.sprintf "Bitset.%s: width mismatch" name);
+  let changed = ref false in
+  for i = 0 to Array.length dst.words - 1 do
+    let v = f dst.words.(i) src.words.(i) in
+    if v <> dst.words.(i) then begin
+      dst.words.(i) <- v;
+      changed := true
+    end
+  done;
+  !changed
+
+let union_into ~dst ~src = binop "union_into" ( lor ) ~dst ~src
+let inter_into ~dst ~src = binop "inter_into" ( land ) ~dst ~src
+let diff_into ~dst ~src = binop "diff_into" (fun a b -> a land lnot b) ~dst ~src
+
+let equal a b =
+  a.width = b.width
+  &&
+  let rec go i =
+    i >= Array.length a.words || (a.words.(i) = b.words.(i) && go (i + 1))
+  in
+  go 0
+
+let is_empty t =
+  let rec go i = i >= Array.length t.words || (t.words.(i) = 0 && go (i + 1)) in
+  go 0
+
+let cardinal t =
+  let pop x =
+    let rec go x acc = if x = 0 then acc else go (x lsr 1) (acc + (x land 1)) in
+    go x 0
+  in
+  Array.fold_left (fun acc w -> acc + pop w) 0 t.words
+
+let iter f t =
+  for w = 0 to Array.length t.words - 1 do
+    let word = t.words.(w) in
+    if word <> 0 then
+      for b = 0 to bits_per_word - 1 do
+        if word land (1 lsl b) <> 0 then f ((w * bits_per_word) + b)
+      done
+  done
+
+let fold f t acc =
+  let r = ref acc in
+  iter (fun i -> r := f i !r) t;
+  !r
+
+let elements t = List.rev (fold (fun i acc -> i :: acc) t [])
+
+let of_list width l =
+  let t = create width in
+  List.iter (add t) l;
+  t
+
+let pp fmt t =
+  Format.fprintf fmt "{%s}"
+    (String.concat "," (List.map string_of_int (elements t)))

@@ -1,0 +1,28 @@
+(** Mutable fixed-width bit vectors, the currency of the dataflow
+    analyses. Indices are dense ids (temp ids, block ids, ...). *)
+
+type t
+
+val create : int -> t
+val width : t -> int
+val add : t -> int -> unit
+val remove : t -> int -> unit
+val mem : t -> int -> bool
+val clear : t -> unit
+val copy : t -> t
+val assign : dst:t -> src:t -> unit
+
+(** Destructive set operations; each returns [true] when [dst] changed. *)
+
+val union_into : dst:t -> src:t -> bool
+val inter_into : dst:t -> src:t -> bool
+val diff_into : dst:t -> src:t -> bool
+
+val equal : t -> t -> bool
+val is_empty : t -> bool
+val cardinal : t -> int
+val iter : (int -> unit) -> t -> unit
+val fold : (int -> 'a -> 'a) -> t -> 'a -> 'a
+val elements : t -> int list
+val of_list : int -> int list -> t
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,103 @@
+open Lsra_ir
+
+type direction = Forward | Backward
+type meet = Union | Inter
+
+type result = { in_of : Bitset.t array; out_of : Bitset.t array }
+
+let solve cfg ~direction ~meet ~width ~gen ~kill ?(rounds = ref 0) () =
+  let blocks = Cfg.blocks cfg in
+  let n = Array.length blocks in
+  let preds = Cfg.preds_table cfg in
+  let idx l = Cfg.block_index cfg l in
+  let in_of = Array.init n (fun _ -> Bitset.create width) in
+  let out_of = Array.init n (fun _ -> Bitset.create width) in
+  let gens = Array.map gen blocks in
+  let kills = Array.map kill blocks in
+  (* Neighbours feeding block i's meet, and the vectors involved, per
+     direction. *)
+  let feed i =
+    match direction with
+    | Forward -> List.map idx (Hashtbl.find preds (Block.label blocks.(i)))
+    | Backward -> List.map idx (Block.succ_labels blocks.(i))
+  in
+  let meet_dst i =
+    match direction with Forward -> in_of.(i) | Backward -> out_of.(i)
+  in
+  let meet_src j =
+    match direction with Forward -> out_of.(j) | Backward -> in_of.(j)
+  in
+  let apply_transfer i =
+    (* transfer: result = gen ∪ (meet_result - kill) *)
+    let dst =
+      match direction with Forward -> out_of.(i) | Backward -> in_of.(i)
+    in
+    let src = meet_dst i in
+    let tmp = Bitset.copy src in
+    ignore (Bitset.diff_into ~dst:tmp ~src:kills.(i));
+    ignore (Bitset.union_into ~dst:tmp ~src:gens.(i));
+    if Bitset.equal tmp dst then false
+    else begin
+      Bitset.assign ~dst ~src:tmp;
+      true
+    end
+  in
+  (* With Inter meet, an uninitialised (not-yet-visited) neighbour must act
+     as "top" (all ones); we emulate the standard round-robin solution by
+     seeding Inter problems with the universe and iterating to a fixed
+     point, with the boundary block (entry for forward problems) pinned to
+     its transfer of an empty meet. *)
+  (match meet with
+  | Union -> ()
+  | Inter ->
+    Array.iter
+      (fun v ->
+        for i = 0 to width - 1 do
+          Bitset.add v i
+        done)
+      (match direction with Forward -> in_of | Backward -> out_of));
+  (match direction, meet with
+  | Forward, Inter -> Bitset.clear in_of.(idx (Cfg.entry cfg))
+  | Forward, Union | Backward, (Union | Inter) -> ());
+  let changed = ref true in
+  while !changed do
+    incr rounds;
+    changed := false;
+    let order =
+      match direction with
+      | Forward -> Array.init n (fun i -> i)
+      | Backward -> Array.init n (fun i -> n - 1 - i)
+    in
+    Array.iter
+      (fun i ->
+        let dst = meet_dst i in
+        let neighbours = feed i in
+        let boundary =
+          match direction with
+          | Forward -> i = idx (Cfg.entry cfg)
+          | Backward -> neighbours = []
+        in
+        if not boundary then begin
+          (match meet with
+          | Union ->
+            List.iter
+              (fun j ->
+                if Bitset.union_into ~dst ~src:(meet_src j) then changed := true)
+              neighbours
+          | Inter ->
+            (match neighbours with
+            | [] -> ()
+            | first :: rest ->
+              let acc = Bitset.copy (meet_src first) in
+              List.iter
+                (fun j -> ignore (Bitset.inter_into ~dst:acc ~src:(meet_src j)))
+                rest;
+              if not (Bitset.equal acc dst) then begin
+                Bitset.assign ~dst ~src:acc;
+                changed := true
+              end))
+        end;
+        if apply_transfer i then changed := true)
+      order
+  done;
+  { in_of; out_of }

@@ -1,0 +1,31 @@
+(** Generic iterative bit-vector dataflow over a CFG, with gen/kill
+    transfer functions: [result = gen ∪ (meet_input − kill)].
+
+    This single engine drives liveness (backward, union) and the paper's
+    resolution-phase consistency problem ([USED_C_in]/[USED_C_out]:
+    backward, union). *)
+
+open Lsra_ir
+
+type direction = Forward | Backward
+type meet = Union | Inter
+
+type result = {
+  in_of : Bitset.t array;  (** indexed by linear block index *)
+  out_of : Bitset.t array;
+}
+
+(** [solve cfg ~direction ~meet ~width ~gen ~kill ()] iterates round-robin
+    to a fixed point. [rounds], when supplied, receives the number of
+    passes taken (the paper's "two or three iterations at most"
+    observation is testable through it). *)
+val solve :
+  Cfg.t ->
+  direction:direction ->
+  meet:meet ->
+  width:int ->
+  gen:(Block.t -> Bitset.t) ->
+  kill:(Block.t -> Bitset.t) ->
+  ?rounds:int ref ->
+  unit ->
+  result

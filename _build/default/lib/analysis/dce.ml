@@ -1,0 +1,77 @@
+open Lsra_ir
+
+let has_side_effect i =
+  match Instr.desc i with
+  | Instr.Store _ | Instr.Spill_store _ | Instr.Call _ -> true
+  | Instr.Move _ | Instr.Bin _ | Instr.Un _ | Instr.Cmp _ | Instr.Load _
+  | Instr.Spill_load _ | Instr.Nop ->
+    false
+
+(* Division traps on a zero denominator; removing one would change
+   observable behaviour only for faulting programs, which we treat as
+   undefined, so Div/Rem are removable when dead. *)
+
+let run func =
+  let liveness = Liveness.compute func in
+  let width = Liveness.width liveness in
+  let removed = ref 0 in
+  Cfg.iter_blocks
+    (fun b ->
+      let live = Bitset.copy (Liveness.live_out liveness (Block.label b)) in
+      let mark_term_uses () =
+        List.iter
+          (fun l ->
+            match Loc.as_temp l with
+            | Some t -> Bitset.add live (Temp.id t)
+            | None -> ())
+          (Block.term_uses b)
+      in
+      mark_term_uses ();
+      let keep = ref [] in
+      let body = Block.body b in
+      for k = Array.length body - 1 downto 0 do
+        let i = body.(k) in
+        let defs = Instr.defs i in
+        let defines_live_or_reg =
+          List.exists
+            (fun l ->
+              match Loc.as_temp l with
+              | Some t -> Bitset.mem live (Temp.id t)
+              | None -> true (* writes to machine registers are kept *))
+            defs
+        in
+        let dead =
+          (not (has_side_effect i))
+          && defs <> [] && not defines_live_or_reg
+        in
+        if dead then incr removed
+        else begin
+          keep := i :: !keep;
+          List.iter
+            (fun l ->
+              match Loc.as_temp l with
+              | Some t -> Bitset.remove live (Temp.id t)
+              | None -> ())
+            defs;
+          List.iter
+            (fun l ->
+              match Loc.as_temp l with
+              | Some t -> Bitset.add live (Temp.id t)
+              | None -> ())
+            (Instr.uses i)
+        end
+      done;
+      ignore width;
+      Block.set_body b (Array.of_list !keep))
+    (Func.cfg func);
+  !removed
+
+let run_to_fixpoint func =
+  let total = ref 0 in
+  let rec go () =
+    let r = run func in
+    total := !total + r;
+    if r > 0 then go ()
+  in
+  go ();
+  !total

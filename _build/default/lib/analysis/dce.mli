@@ -1,0 +1,11 @@
+(** Liveness-based dead-code elimination. The paper runs DCE immediately
+    before register allocation in both pipelines; we do the same. *)
+
+open Lsra_ir
+
+(** One backward sweep per block against fresh liveness; mutates the
+    function's blocks; returns the number of instructions removed. *)
+val run : Func.t -> int
+
+(** Iterate {!run} until nothing is removed; returns the total. *)
+val run_to_fixpoint : Func.t -> int

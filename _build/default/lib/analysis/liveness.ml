@@ -1,0 +1,112 @@
+open Lsra_ir
+
+type t = {
+  width : int;
+  live_in : Bitset.t array;
+  live_out : Bitset.t array;
+  cfg : Cfg.t;
+}
+
+let temp_uses_of_locs locs =
+  List.filter_map (fun l -> Option.map Temp.id (Loc.as_temp l)) locs
+
+let block_use_def ~width ~remap b =
+  let use = Bitset.create width in
+  let def = Bitset.create width in
+  let see_use id =
+    match remap id with
+    | Some i -> if not (Bitset.mem def i) then Bitset.add use i
+    | None -> ()
+  in
+  let see_def id =
+    match remap id with Some i -> Bitset.add def i | None -> ()
+  in
+  Array.iter
+    (fun i ->
+      List.iter see_use (temp_uses_of_locs (Instr.uses i));
+      List.iter see_def (temp_uses_of_locs (Instr.defs i)))
+    (Block.body b);
+  List.iter see_use (temp_uses_of_locs (Block.term_uses b));
+  (use, def)
+
+(* Temps referenced in more than one block. As the paper notes (§3), temps
+   live only within a single block cannot affect block-boundary liveness,
+   so excluding them shrinks the bit vectors the iterative solver pushes
+   around — the optimisation both of its allocators rely on. *)
+let global_temps func =
+  let ntemps = Func.temp_bound func in
+  let first_block = Array.make ntemps (-1) in
+  let global = Array.make ntemps false in
+  let blocks = Cfg.blocks (Func.cfg func) in
+  Array.iteri
+    (fun bi b ->
+      let see id =
+        if first_block.(id) = -1 then first_block.(id) <- bi
+        else if first_block.(id) <> bi then global.(id) <- true
+      in
+      Array.iter
+        (fun i ->
+          List.iter see (temp_uses_of_locs (Instr.uses i));
+          List.iter see (temp_uses_of_locs (Instr.defs i)))
+        (Block.body b);
+      List.iter see (temp_uses_of_locs (Block.term_uses b)))
+    blocks;
+  global
+
+let compute ?(compress = true) func =
+  let cfg = Func.cfg func in
+  let ntemps = Func.temp_bound func in
+  let remap, unmap, cwidth =
+    if not compress then ((fun id -> Some id), (fun i -> i), ntemps)
+    else begin
+      let global = global_temps func in
+      let fwd = Array.make ntemps (-1) in
+      let rev = ref [] in
+      let n = ref 0 in
+      Array.iteri
+        (fun id g ->
+          if g then begin
+            fwd.(id) <- !n;
+            rev := id :: !rev;
+            incr n
+          end)
+        global;
+      let rev = Array.of_list (List.rev !rev) in
+      ( (fun id -> if fwd.(id) >= 0 then Some fwd.(id) else None),
+        (fun i -> rev.(i)),
+        !n )
+    end
+  in
+  let use_def =
+    Array.map (block_use_def ~width:cwidth ~remap) (Cfg.blocks cfg)
+  in
+  let gen b = fst use_def.(Cfg.block_index cfg (Block.label b)) in
+  let kill b = snd use_def.(Cfg.block_index cfg (Block.label b)) in
+  let r =
+    Dataflow.solve cfg ~direction:Dataflow.Backward ~meet:Dataflow.Union
+      ~width:cwidth ~gen ~kill ()
+  in
+  (* expand the compressed vectors back to full temp-id indexing so
+     clients are oblivious to the optimisation *)
+  let expand v =
+    let s = Bitset.create ntemps in
+    Bitset.iter (fun i -> Bitset.add s (unmap i)) v;
+    s
+  in
+  let live_in, live_out =
+    if compress then
+      (Array.map expand r.Dataflow.in_of, Array.map expand r.Dataflow.out_of)
+    else (r.Dataflow.in_of, r.Dataflow.out_of)
+  in
+  { width = ntemps; live_in; live_out; cfg }
+
+let width t = t.width
+let live_in t label = t.live_in.(Cfg.block_index t.cfg label)
+let live_out t label = t.live_out.(Cfg.block_index t.cfg label)
+
+let live_across_blocks t =
+  let s = Bitset.create t.width in
+  Array.iter (fun v -> ignore (Bitset.union_into ~dst:s ~src:v)) t.live_in;
+  s
+
+let fold_live_temps f t label acc = Bitset.fold f (live_in t label) acc

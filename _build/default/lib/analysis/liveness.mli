@@ -1,0 +1,30 @@
+(** Global liveness of temporaries, per basic block. Machine-register
+    operands are excluded: by construction their live ranges never cross a
+    block boundary (checked by {!Lsra.Precheck}), so the allocators track
+    them locally. *)
+
+open Lsra_ir
+
+type t
+
+(** [compute func] computes block-level liveness. With [~compress:true]
+    (the default, and the paper's §3 optimisation) temporaries referenced
+    in only one block are excluded from the iterative dataflow's bit
+    vectors — they cannot be live across a boundary — and the result is
+    re-expanded afterwards, so callers never see the difference. *)
+val compute : ?compress:bool -> Func.t -> t
+
+(** Width of the bit vectors (the function's temp-id bound). *)
+val width : t -> int
+
+(** Temps live at the top of the labelled block, as temp-id bitset. *)
+val live_in : t -> string -> Bitset.t
+
+(** Temps live at the bottom of the labelled block. *)
+val live_out : t -> string -> Bitset.t
+
+(** Temps live on entry to at least one block, i.e. live across some block
+    boundary — the temps that participate in resolution bit vectors. *)
+val live_across_blocks : t -> Bitset.t
+
+val fold_live_temps : (int -> 'a -> 'a) -> t -> string -> 'a -> 'a

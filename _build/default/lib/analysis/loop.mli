@@ -1,0 +1,18 @@
+(** Natural-loop nesting depth per block. Both allocators weight spill
+    priorities by [10^depth], as the paper prescribes. *)
+
+open Lsra_ir
+
+type t
+
+val compute : Cfg.t -> t
+
+(** Nesting depth of the block at a linear index (0 = not in any loop). *)
+val depth : t -> int -> int
+
+val depth_of_label : t -> Cfg.t -> string -> int
+
+(** Linear indices of loop-header blocks. *)
+val headers : t -> int list
+
+val max_depth : t -> int

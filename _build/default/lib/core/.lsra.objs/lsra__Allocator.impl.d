@@ -1,0 +1,1 @@
+lib/core/allocator.ml: Binpack Coloring Func List Lsra_analysis Lsra_ir Motion Peephole Poletto Precheck Program Second_chance Stats Two_pass Verify

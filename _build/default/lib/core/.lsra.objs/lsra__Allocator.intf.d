@@ -1,0 +1,1 @@
+lib/core/allocator.mli: Binpack Func Lsra_ir Lsra_target Machine Program Stats

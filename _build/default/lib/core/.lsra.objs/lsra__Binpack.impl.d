@@ -1,0 +1,1 @@
+lib/core/binpack.ml: Array Bitset Block Cfg Func Hashtbl Instr Interval Lifetime Linear List Liveness Loc Loop Lsra_analysis Lsra_ir Lsra_target Machine Mreg Operand Printf Rclass Regidx Stats Temp

@@ -1,0 +1,1 @@
+lib/core/binpack.mli: Bitset Func Hashtbl Lifetime Liveness Lsra_analysis Lsra_ir Lsra_target Machine Mreg Regidx Stats

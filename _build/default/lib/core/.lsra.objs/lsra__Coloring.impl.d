@@ -1,0 +1,1 @@
+lib/core/coloring.ml: Array Bitset Block Cfg Func Hashtbl Instr List Liveness Loc Loop Lsra_analysis Lsra_ir Lsra_target Machine Mreg Printf Program Rclass Stats Sys Temp

@@ -1,0 +1,1 @@
+lib/core/interval.ml: Array Format List Lsra_ir Temp

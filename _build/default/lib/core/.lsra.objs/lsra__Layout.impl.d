@@ -1,0 +1,1 @@
+lib/core/layout.ml: Array Block Cfg Func List Lsra_ir Program

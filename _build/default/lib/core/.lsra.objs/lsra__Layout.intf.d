@@ -1,0 +1,1 @@
+lib/core/layout.mli: Func Lsra_ir Program

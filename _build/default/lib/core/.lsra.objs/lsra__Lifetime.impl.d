@@ -1,0 +1,1 @@
+lib/core/lifetime.ml: Array Bitset Block Cfg Func Instr Interval Linear List Liveness Loc Loop Lsra_analysis Lsra_ir Rclass Regidx Temp

@@ -1,0 +1,1 @@
+lib/core/lifetime.mli: Func Interval Linear Liveness Loop Lsra_analysis Lsra_ir Regidx Temp

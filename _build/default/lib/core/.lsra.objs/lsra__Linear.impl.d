@@ -1,0 +1,1 @@
+lib/core/linear.ml: Array Block Cfg Func Lsra_ir

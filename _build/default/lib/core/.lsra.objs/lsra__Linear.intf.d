@@ -1,0 +1,1 @@
+lib/core/linear.mli: Func Lsra_ir

@@ -1,0 +1,1 @@
+lib/core/motion.ml: Array Block Cfg Func Hashtbl Instr List Loc Lsra_ir Mreg Operand Program

@@ -1,0 +1,1 @@
+lib/core/motion.mli: Func Lsra_ir Program

@@ -1,0 +1,1 @@
+lib/core/peephole.ml: Array Block Cfg Func Instr List Loc Lsra_ir Program

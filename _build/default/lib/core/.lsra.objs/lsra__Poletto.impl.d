@@ -1,0 +1,1 @@
+lib/core/poletto.ml: Array Block Cfg Func Instr Int Interval Lifetime List Liveness Loc Loop Lsra_analysis Lsra_ir Lsra_target Machine Mreg Program Rclass Regidx Stats Sys Temp

@@ -1,0 +1,1 @@
+lib/core/poletto.mli: Func Lsra_ir Lsra_target Machine Program Stats

@@ -1,0 +1,1 @@
+lib/core/precheck.ml: Array Block Cfg Func Hashtbl Instr List Loc Lsra_analysis Lsra_ir Lsra_target Machine Mreg Printf String

@@ -1,0 +1,1 @@
+lib/core/precheck.mli: Func Lsra_ir Lsra_target Machine

@@ -1,0 +1,1 @@
+lib/core/regidx.ml: List Lsra_ir Lsra_target Machine Mreg Rclass

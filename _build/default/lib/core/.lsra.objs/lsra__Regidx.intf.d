@@ -1,0 +1,1 @@
+lib/core/regidx.mli: Lsra_ir Lsra_target Machine Mreg Rclass

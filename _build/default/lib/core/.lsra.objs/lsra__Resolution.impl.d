@@ -1,0 +1,1 @@
+lib/core/resolution.ml: Array Binpack Bitset Block Cfg Dataflow Func Hashtbl Instr List Liveness Loc Lsra_analysis Lsra_ir Lsra_target Mreg Operand Regidx Stats

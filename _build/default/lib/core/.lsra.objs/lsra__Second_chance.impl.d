@@ -1,0 +1,1 @@
+lib/core/second_chance.ml: Binpack List Lsra_ir Program Resolution Stats Sys

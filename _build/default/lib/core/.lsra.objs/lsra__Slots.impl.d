@@ -1,0 +1,1 @@
+lib/core/slots.ml: Array Bitset Block Cfg Dataflow Func Instr List Lsra_analysis Lsra_ir Program

@@ -1,0 +1,1 @@
+lib/core/slots.mli: Func Lsra_ir Program

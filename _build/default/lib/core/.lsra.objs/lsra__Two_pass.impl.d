@@ -1,0 +1,1 @@
+lib/core/two_pass.ml: Array Block Cfg Func Hashtbl Instr Int Interval Lifetime Linear List Liveness Loc Loop Lsra_analysis Lsra_ir Mreg Printf Program Regidx Set Stats Sys Temp

@@ -1,0 +1,1 @@
+lib/core/verify.ml: Array Bitset Block Cfg Func Hashtbl Instr List Loc Lsra_analysis Lsra_ir Mreg Operand Printf Regidx Temp

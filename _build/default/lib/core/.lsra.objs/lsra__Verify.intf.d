@@ -1,0 +1,1 @@
+lib/core/verify.mli: Func Lsra_ir Lsra_target Machine

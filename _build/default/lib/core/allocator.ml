@@ -1,0 +1,60 @@
+open Lsra_ir
+
+type algorithm =
+  | Second_chance of Binpack.options
+  | Two_pass
+  | Poletto
+  | Graph_coloring
+
+let default_second_chance = Second_chance Binpack.default_options
+
+let name = function
+  | Second_chance _ -> "second-chance binpacking"
+  | Two_pass -> "two-pass binpacking"
+  | Poletto -> "poletto linear scan"
+  | Graph_coloring -> "graph coloring"
+
+let short_name = function
+  | Second_chance _ -> "binpack"
+  | Two_pass -> "twopass"
+  | Poletto -> "poletto"
+  | Graph_coloring -> "gc"
+
+let run algorithm machine func =
+  match algorithm with
+  | Second_chance opts -> Second_chance.run ~opts machine func
+  | Two_pass -> Two_pass.run machine func
+  | Poletto -> Poletto.run machine func
+  | Graph_coloring -> Coloring.run machine func
+
+let run_program algorithm machine prog =
+  let total = Stats.create () in
+  List.iter
+    (fun (_, f) -> Stats.add ~into:total (run algorithm machine f))
+    (Program.funcs prog);
+  total
+
+(* The paper's full pipeline: dead-code elimination, allocation, then the
+   move-collapsing peephole pass (§3). *)
+let pipeline ?(precheck = false) ?(verify = false) ?(cleanup = false)
+    algorithm machine prog =
+  if precheck then
+    List.iter (fun (_, f) -> Precheck.run machine f) (Program.funcs prog);
+  let originals =
+    if verify then List.map (fun (n, f) -> (n, Func.copy f)) (Program.funcs prog)
+    else []
+  in
+  List.iter (fun (_, f) -> ignore (Lsra_analysis.Dce.run_to_fixpoint f))
+    (Program.funcs prog);
+  let stats = run_program algorithm machine prog in
+  if verify then
+    List.iter
+      (fun (n, allocated) ->
+        let original = List.assoc n originals in
+        (* DCE ran after the copy; re-run it on the copy so uids align. *)
+        ignore (Lsra_analysis.Dce.run_to_fixpoint original);
+        Verify.run machine ~original ~allocated)
+      (Program.funcs prog);
+  if cleanup then ignore (Motion.run_program prog);
+  ignore (Peephole.run_program prog);
+  stats

@@ -1,0 +1,33 @@
+(** One entry point over the four allocators, plus the paper's full
+    compilation pipeline (DCE → allocation → peephole). *)
+
+open Lsra_ir
+open Lsra_target
+
+type algorithm =
+  | Second_chance of Binpack.options
+  | Two_pass
+  | Poletto
+  | Graph_coloring
+
+val default_second_chance : algorithm
+val name : algorithm -> string
+val short_name : algorithm -> string
+val run : algorithm -> Machine.t -> Func.t -> Stats.t
+val run_program : algorithm -> Machine.t -> Program.t -> Stats.t
+
+(** [pipeline algorithm machine prog] mutates [prog] through
+    DCE, allocation and the peephole cleanup, exactly the pass order the
+    paper's experiments use. With [~verify:true] every function is also
+    checked by {!Verify} against its pre-allocation form; with
+    [~cleanup:true] the {!Motion} spill cleanup (the paper's §2.4
+    alternative) runs before the peephole pass; with [~precheck:true] the
+    input is validated by {!Precheck} first. *)
+val pipeline :
+  ?precheck:bool ->
+  ?verify:bool ->
+  ?cleanup:bool ->
+  algorithm ->
+  Machine.t ->
+  Program.t ->
+  Stats.t

@@ -1,0 +1,600 @@
+open Lsra_ir
+open Lsra_analysis
+open Lsra_target
+
+type rloc = In_reg of Mreg.t | In_mem
+
+type consistency_mode = Iterative | Conservative
+
+type options = {
+  early_second_chance : bool;
+  move_opt : bool;
+  consistency : consistency_mode;
+}
+
+let default_options =
+  { early_second_chance = true; move_opt = true; consistency = Iterative }
+
+type t = {
+  func : Func.t;
+  regidx : Regidx.t;
+  liveness : Liveness.t;
+  lifetimes : Lifetime.t;
+  top_loc : (int, rloc) Hashtbl.t array;
+  bottom_loc : (int, rloc) Hashtbl.t array;
+  are_consistent : Bitset.t array;
+  used_consistency : Bitset.t array;
+  wrote_tr : Bitset.t array;
+  slot_of : int option array;
+  stats : Stats.t;
+  opts : options;
+}
+
+exception Out_of_registers of string
+
+(* Segment-array queries for register busy intervals. *)
+let seg_covering (segs : Interval.seg array) pos =
+  let lo = ref 0 and hi = ref (Array.length segs) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if segs.(mid).Interval.e < pos then lo := mid + 1 else hi := mid
+  done;
+  !lo < Array.length segs && segs.(!lo).Interval.s <= pos
+
+let next_start_after (segs : Interval.seg array) pos =
+  let lo = ref 0 and hi = ref (Array.length segs) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if segs.(mid).Interval.s <= pos then lo := mid + 1 else hi := mid
+  done;
+  if !lo < Array.length segs then segs.(!lo).Interval.s else max_int
+
+type state = {
+  res : t;
+  machine : Machine.t;
+  loc : rloc option array; (* per temp id *)
+  consistent : bool array; (* per temp id: the working ARE_CONSISTENT bit *)
+  cursor : int array; (* per temp id: next-reference cursor *)
+  occ_temp : int array; (* per flat reg: occupant temp id, or -1 *)
+  occ_next_busy : int array; (* per flat reg: next convention event *)
+  mutable emit_rev : Instr.t list; (* current block, reversed *)
+  mutable cur_w : Bitset.t; (* WROTE_TR of the current block *)
+  mutable cur_u : Bitset.t; (* USED_CONSISTENCY of the current block *)
+}
+
+let get_slot st id =
+  match st.res.slot_of.(id) with
+  | Some s -> s
+  | None ->
+    let s = Func.fresh_slot st.res.func in
+    st.res.slot_of.(id) <- Some s;
+    s
+
+let emit st i = st.emit_rev <- i :: st.emit_rev
+
+let interval st id = Lifetime.interval_of_id st.res.lifetimes id
+
+let temp_of st id = Interval.temp (interval st id)
+
+(* Next reference of temp [id] at or after [pos]; advances the cursor. *)
+let next_ref st id ~pos =
+  let itv = interval st id in
+  let c = Interval.next_ref_at itv ~cursor:st.cursor.(id) ~pos in
+  st.cursor.(id) <- c;
+  if c < Interval.n_refs itv then Some (Interval.ref_at itv c) else None
+
+(* Eviction-priority benefit of keeping temp [id] in its register: next
+   reference's loop-depth weight over its distance (paper §2.3). Lower is
+   evicted first. *)
+let benefit st id ~pos =
+  match next_ref st id ~pos with
+  | None -> -1.0
+  | Some r ->
+    let dist = float_of_int (r.Interval.rpos - pos + 1) in
+    (10.0 ** float_of_int r.Interval.rdepth) /. dist
+
+let reg_of_flat st ri = Regidx.to_reg st.res.regidx ri
+let flat_of_reg st r = Regidx.of_reg st.res.regidx r
+
+let set_occupant st ri id ~pos =
+  st.occ_temp.(ri) <- id;
+  st.occ_next_busy.(ri) <-
+    next_start_after (Lifetime.reg_busy st.res.lifetimes ri) pos;
+  st.loc.(id) <- Some (In_reg (reg_of_flat st ri))
+
+let clear_occupant st ri =
+  let id = st.occ_temp.(ri) in
+  if id >= 0 then begin
+    st.occ_temp.(ri) <- -1;
+    st.loc.(id) <- Some In_mem
+  end
+
+(* Evict temp [id] from register flat index [ri], inserting a spill store
+   before the current instruction when the value is live and stale. *)
+let evict st ri ~pos =
+  let id = st.occ_temp.(ri) in
+  assert (id >= 0);
+  let itv = interval st id in
+  if Interval.covers itv pos then begin
+    if st.consistent.(id) then begin
+      (* Second-chance consistency: skip the store, record the reliance if
+         it is not locally established (paper §2.4). *)
+      if not (Bitset.mem st.cur_w id) then Bitset.add st.cur_u id
+    end
+    else begin
+      let slot = get_slot st id in
+      emit st
+        (Instr.make
+           ~tag:(Instr.Spill { phase = Instr.Evict; kind = Instr.Spill_st })
+           (Instr.Spill_store { src = Loc.Reg (reg_of_flat st ri); slot }));
+      st.res.stats.Stats.evict_stores <-
+        st.res.stats.Stats.evict_stores + 1;
+      st.consistent.(id) <- true
+    end
+  end
+  else
+    (* In a lifetime hole (or past the end): the next reference, if any,
+       overwrites, so no store is needed. *)
+    st.consistent.(id) <- false;
+  clear_occupant st ri
+
+(* Would evicting [id] right now emit a store? *)
+let eviction_needs_store st id ~pos =
+  Interval.covers (interval st id) pos && not st.consistent.(id)
+
+let reg_busy_now st ri pos = seg_covering (Lifetime.reg_busy st.res.lifetimes ri) pos
+
+let hole_end st ri pos =
+  next_start_after (Lifetime.reg_busy st.res.lifetimes ri) pos - 1
+
+(* A register that may hold a fresh value at [pos] for a temp of class
+   [cls]: not blocked by a convention at [pos] and not in [forbidden]. *)
+let eligible st ~forbidden ~cls ~pos ri =
+  (not (List.mem ri forbidden))
+  && Rclass.equal (Mreg.cls (reg_of_flat st ri)) cls
+  && not (reg_busy_now st ri pos)
+
+(* Find a free register whose availability hole fits [stop]; smallest
+   sufficient hole first, otherwise the largest insufficient one
+   (paper §2.2, §2.5). [candidates] are flat indices assumed eligible. *)
+let pick_by_hole st ~pos ~stop candidates =
+  let scored = List.map (fun ri -> (ri, hole_end st ri pos)) candidates in
+  let sufficient = List.filter (fun (_, e) -> e >= stop) scored in
+  match sufficient with
+  | _ :: _ ->
+    Some
+      (fst
+         (List.fold_left
+            (fun (bri, be) (ri, e) -> if e < be then (ri, e) else (bri, be))
+            (List.hd sufficient) (List.tl sufficient)))
+  | [] -> (
+    match scored with
+    | [] -> None
+    | hd :: tl ->
+      Some
+        (fst
+           (List.fold_left
+              (fun (bri, be) (ri, e) -> if e > be then (ri, e) else (bri, be))
+              hd tl)))
+
+(* Allocate a register for temp [id] at [pos]. May evict. *)
+let assign_reg st id ~pos ~forbidden =
+  let itv = interval st id in
+  let cls = Temp.cls (temp_of st id) in
+  let stop = if Interval.is_empty itv then pos else Interval.stop itv in
+  let all = Regidx.of_cls st.res.regidx cls in
+  let elig = List.filter (eligible st ~forbidden ~cls ~pos) all in
+  let free = List.filter (fun ri -> st.occ_temp.(ri) < 0) elig in
+  let sufficient_free = List.filter (fun ri -> hole_end st ri pos >= stop) free in
+  let choice =
+    match pick_by_hole st ~pos ~stop sufficient_free with
+    | Some ri -> Some ri
+    | None -> (
+      (* Registers whose occupant sits in a lifetime hole can be taken
+         without spill cost (paper §2.1). *)
+      let holed =
+        List.filter
+          (fun ri ->
+            st.occ_temp.(ri) >= 0
+            && (not (Interval.covers (interval st st.occ_temp.(ri)) pos))
+            && hole_end st ri pos >= stop)
+          elig
+      in
+      match pick_by_hole st ~pos ~stop holed with
+      | Some ri ->
+        evict st ri ~pos;
+        Some ri
+      | None -> (
+        (* No register can host the whole remaining lifetime for free.
+           Either take the largest insufficient hole (paper §2.5; the
+           temporary will be evicted when the hole expires) or displace a
+           lower-priority occupant from a register whose availability does
+           cover the lifetime — whichever keeps the more valuable set of
+           values in registers, by the next-reference/loop-depth priority
+           of §2.3. *)
+        let incoming = benefit st id ~pos in
+        let victim =
+          let evictable =
+            List.filter
+              (fun ri ->
+                st.occ_temp.(ri) >= 0 && hole_end st ri pos >= stop)
+              elig
+          in
+          match evictable with
+          | [] -> None
+          | hd :: tl ->
+            let score ri = benefit st st.occ_temp.(ri) ~pos in
+            Some
+              (List.fold_left
+                 (fun (bri, bs) ri ->
+                   let s = score ri in
+                   if s < bs then (ri, s) else (bri, bs))
+                 (hd, score hd) tl)
+        in
+        match victim, pick_by_hole st ~pos ~stop free with
+        | Some (ri, vb), _ when vb < incoming ->
+          evict st ri ~pos;
+          Some ri
+        | _, Some ri -> Some ri
+        | Some (ri, _), None ->
+          evict st ri ~pos;
+          Some ri
+        | None, None -> (
+          (* Only insufficient-hole occupants remain: classic eviction of
+             the lowest-priority one. *)
+          let occupied = List.filter (fun ri -> st.occ_temp.(ri) >= 0) elig in
+          match occupied with
+          | [] -> None
+          | hd :: tl ->
+            let score ri = benefit st st.occ_temp.(ri) ~pos in
+            let best =
+              List.fold_left
+                (fun (bri, bs) ri ->
+                  let s = score ri in
+                  if s < bs then (ri, s) else (bri, bs))
+                (hd, score hd) tl
+            in
+            let ri = fst best in
+            evict st ri ~pos;
+            Some ri)))
+  in
+  match choice with
+  | Some ri ->
+    set_occupant st ri id ~pos;
+    ri
+  | None ->
+    raise
+      (Out_of_registers
+         (Printf.sprintf "no %s register available at position %d for %s"
+            (Rclass.to_string cls) pos
+            (Temp.to_string (temp_of st id))))
+
+(* Convention sweep: before executing instruction [k], evict any temporary
+   occupying a register whose next busy segment has arrived. Early second
+   chance (paper §2.5) moves the value to a free register instead of
+   storing it, when such a register can host the whole remaining
+   lifetime. *)
+let convention_sweep st ~k =
+  let horizon = Linear.def_pos k in
+  let pos = Linear.use_pos k in
+  let n = Regidx.total st.res.regidx in
+  for ri = 0 to n - 1 do
+    if st.occ_temp.(ri) >= 0 && st.occ_next_busy.(ri) <= horizon then begin
+      let id = st.occ_temp.(ri) in
+      (* When the conflicting convention is this instruction's own def and
+         the occupant dies at this instruction's use, the value is read in
+         place and the register is reclaimed by [release_dead]; no
+         eviction traffic is needed. *)
+      let dies_here =
+        st.occ_next_busy.(ri) >= pos
+        &&
+        let itv = interval st id in
+        (not (Interval.is_empty itv)) && Interval.stop itv <= pos
+      in
+      if not dies_here then begin
+      let moved =
+        st.res.opts.early_second_chance
+        && eviction_needs_store st id ~pos
+        &&
+        let itv = interval st id in
+        let stop = Interval.stop itv in
+        let cls = Temp.cls (temp_of st id) in
+        let frees =
+          List.filter
+            (fun rj ->
+              st.occ_temp.(rj) < 0
+              && eligible st ~forbidden:[ ri ] ~cls ~pos rj
+              && hole_end st rj pos >= stop)
+            (Regidx.of_cls st.res.regidx cls)
+        in
+        match pick_by_hole st ~pos ~stop frees with
+        | Some rj ->
+          emit st
+            (Instr.make
+               ~tag:
+                 (Instr.Spill { phase = Instr.Evict; kind = Instr.Spill_mv })
+               (Instr.Move
+                  {
+                    dst = Loc.Reg (reg_of_flat st rj);
+                    src = Operand.Loc (Loc.Reg (reg_of_flat st ri));
+                  }));
+          st.res.stats.Stats.evict_moves <-
+            st.res.stats.Stats.evict_moves + 1;
+          st.occ_temp.(ri) <- -1;
+          set_occupant st rj id ~pos;
+          true
+        | None -> false
+      in
+      if not moved then evict st ri ~pos
+      end
+    end
+  done
+
+(* Rewrite one use of temp [id] at instruction [k]; returns its register,
+   reloading a spilled value first when needed (the second chance,
+   paper §2.3). *)
+let use_temp st id ~k ~forbidden =
+  let pos = Linear.use_pos k in
+  match st.loc.(id) with
+  | Some (In_reg r) -> flat_of_reg st r
+  | Some In_mem | None ->
+    let ri = assign_reg st id ~pos ~forbidden in
+    let slot = get_slot st id in
+    emit st
+      (Instr.make
+         ~tag:(Instr.Spill { phase = Instr.Evict; kind = Instr.Spill_ld })
+         (Instr.Spill_load { dst = Loc.Reg (reg_of_flat st ri); slot }));
+    st.res.stats.Stats.evict_loads <- st.res.stats.Stats.evict_loads + 1;
+    st.consistent.(id) <- true;
+    (* the reload writes t's register, so consistency is now established
+       locally: later uses of A_t in this block do not depend on block
+       entry (WROTE_TR is the paper's "register written in b" bit) *)
+    Bitset.add st.cur_w id;
+    ri
+
+(* Rewrite one def of temp [id] at instruction [k]. [move_src] is the
+   flat register of the source when the instruction is a move eligible for
+   the move optimisation of paper §2.5. *)
+let def_temp st id ~k ~forbidden ~move_src =
+  let pos = Linear.def_pos k in
+  let ri =
+    match st.loc.(id) with
+    | Some (In_reg r) -> flat_of_reg st r
+    | Some In_mem | None -> (
+      let try_move_opt =
+        (* The source register is naturally in [forbidden]; for a move it
+           is precisely the register we want to reuse, so it is checked
+           against conventions only. *)
+        match move_src with
+        | Some rs
+          when st.res.opts.move_opt
+               && st.occ_temp.(rs) < 0
+               && eligible st ~forbidden:[]
+                    ~cls:(Temp.cls (temp_of st id))
+                    ~pos rs ->
+          let itv = interval st id in
+          let stop = if Interval.is_empty itv then pos else Interval.stop itv in
+          if hole_end st rs pos >= stop then Some rs else None
+        | Some _ | None -> None
+      in
+      match try_move_opt with
+      | Some rs ->
+        set_occupant st rs id ~pos;
+        rs
+      | None -> assign_reg st id ~pos ~forbidden)
+  in
+  st.consistent.(id) <- false;
+  Bitset.add st.cur_w id;
+  ri
+
+(* Free registers whose occupant's lifetime segment has ended. *)
+let release_dead st ~pos =
+  let n = Regidx.total st.res.regidx in
+  for ri = 0 to n - 1 do
+    let id = st.occ_temp.(ri) in
+    if id >= 0 then begin
+      let itv = interval st id in
+      if (not (Interval.is_empty itv)) && Interval.stop itv <= pos then begin
+        st.occ_temp.(ri) <- -1;
+        st.loc.(id) <- Some In_mem;
+        st.consistent.(id) <- false
+      end
+    end
+  done
+
+let scan ?(opts = default_options) machine func =
+  let regidx = Regidx.create machine in
+  let liveness = Liveness.compute func in
+  let loops = Loop.compute (Func.cfg func) in
+  let lifetimes = Lifetime.compute regidx func liveness loops in
+  let cfg = Func.cfg func in
+  let blocks = Cfg.blocks cfg in
+  let nb = Array.length blocks in
+  let ntemps = Func.temp_bound func in
+  let res =
+    {
+      func;
+      regidx;
+      liveness;
+      lifetimes;
+      top_loc = Array.init nb (fun _ -> Hashtbl.create 8);
+      bottom_loc = Array.init nb (fun _ -> Hashtbl.create 8);
+      are_consistent = Array.init nb (fun _ -> Bitset.create ntemps);
+      used_consistency = Array.init nb (fun _ -> Bitset.create ntemps);
+      wrote_tr = Array.init nb (fun _ -> Bitset.create ntemps);
+      slot_of = Array.make ntemps None;
+      stats = Stats.create ();
+      opts;
+    }
+  in
+  let st =
+    {
+      res;
+      machine;
+      loc = Array.make ntemps None;
+      consistent = Array.make ntemps false;
+      cursor = Array.make ntemps 0;
+      occ_temp = Array.make (Regidx.total regidx) (-1);
+      occ_next_busy = Array.make (Regidx.total regidx) max_int;
+      emit_rev = [];
+      cur_w = Bitset.create ntemps;
+      cur_u = Bitset.create ntemps;
+    }
+  in
+  let linear = Lifetime.linear lifetimes in
+  let preds = Cfg.preds_table cfg in
+  let visited = Array.make nb false in
+  for bi = 0 to nb - 1 do
+    let b = blocks.(bi) in
+    let label = Block.label b in
+    st.emit_rev <- [];
+    st.cur_w <- res.wrote_tr.(bi);
+    st.cur_u <- res.used_consistency.(bi);
+    (* Record the allocation assumptions at the top of the block: the
+       linear state, with never-seen temporaries placed in memory. *)
+    Bitset.iter
+      (fun id ->
+        let l =
+          match st.loc.(id) with
+          | Some l -> l
+          | None ->
+            st.loc.(id) <- Some In_mem;
+            In_mem
+        in
+        Hashtbl.replace res.top_loc.(bi) id l)
+      (Liveness.live_in liveness label);
+    (match opts.consistency with
+    | Iterative -> ()
+    | Conservative ->
+      (* Strictly linear variant (paper §2.6): trust consistency at block
+         entry only when every predecessor's saved vector grants it. *)
+      let ps = Hashtbl.find preds label in
+      let granted id =
+        ps <> []
+        && List.for_all
+             (fun p ->
+               let pi = Cfg.block_index cfg p in
+               visited.(pi) && Bitset.mem res.are_consistent.(pi) id)
+             ps
+      in
+      for id = 0 to ntemps - 1 do
+        if st.consistent.(id) && not (granted id) then
+          st.consistent.(id) <- false
+      done);
+    let process_instr k (i : Instr.t) =
+      convention_sweep st ~k;
+      let bound = ref [] in
+      (* Pre-bind register-resident uses so that allocating a reload for
+         one source never evicts another source of the same instruction. *)
+      List.iter
+        (fun l ->
+          match l with
+          | Loc.Reg r -> bound := flat_of_reg st r :: !bound
+          | Loc.Temp t -> (
+            match st.loc.(Temp.id t) with
+            | Some (In_reg r) -> bound := flat_of_reg st r :: !bound
+            | Some In_mem | None -> ()))
+        (Instr.uses i);
+      let rewritten_src = ref None in
+      let use (l : Loc.t) : Loc.t =
+        match l with
+        | Loc.Reg r ->
+          bound := flat_of_reg st r :: !bound;
+          rewritten_src := Some (flat_of_reg st r);
+          l
+        | Loc.Temp t ->
+          let ri = use_temp st (Temp.id t) ~k ~forbidden:!bound in
+          bound := ri :: !bound;
+          rewritten_src := Some ri;
+          Loc.Reg (reg_of_flat st ri)
+      in
+      let move_src_of i' =
+        match Instr.desc i' with
+        | Instr.Move { src = Operand.Loc _; _ } -> !rewritten_src
+        | Instr.Move _ | Instr.Bin _ | Instr.Un _ | Instr.Cmp _
+        | Instr.Load _ | Instr.Store _ | Instr.Spill_load _
+        | Instr.Spill_store _ | Instr.Call _ | Instr.Nop ->
+          None
+      in
+      (* Rewrite uses first (reloads go before the instruction), then let
+         dead sources release their registers, then place defs. *)
+      let i_uses = Instr.rewrite ~use ~def:(fun l -> l) i in
+      List.iter
+        (fun l ->
+          match Loc.as_temp l with
+          | Some t -> ignore (next_ref st (Temp.id t) ~pos:(Linear.use_pos k + 1))
+          | None -> ())
+        (Instr.uses i);
+      release_dead st ~pos:(Linear.use_pos k);
+      let def (l : Loc.t) : Loc.t =
+        match l with
+        | Loc.Reg r ->
+          bound := flat_of_reg st r :: !bound;
+          l
+        | Loc.Temp t ->
+          (* sources that died at this instruction release their registers
+             to the destination: reads happen before the write *)
+          let forbidden =
+            List.filter (fun ri -> st.occ_temp.(ri) >= 0) !bound
+          in
+          let ri =
+            def_temp st (Temp.id t) ~k ~forbidden ~move_src:(move_src_of i)
+          in
+          bound := ri :: !bound;
+          Loc.Reg (reg_of_flat st ri)
+      in
+      let i' = Instr.rewrite ~use:(fun l -> l) ~def i_uses in
+      emit st i'
+    in
+    Array.iteri
+      (fun j i -> process_instr (Linear.first_instr linear bi + j) i)
+      (Block.body b);
+    (* Terminator: sweep, then rewrite its uses (reloads precede it). *)
+    let tk = Linear.last_instr linear bi in
+    convention_sweep st ~k:tk;
+    let bound = ref [] in
+    List.iter
+      (fun l ->
+        match l with
+        | Loc.Reg r -> bound := flat_of_reg st r :: !bound
+        | Loc.Temp t -> (
+          match st.loc.(Temp.id t) with
+          | Some (In_reg r) -> bound := flat_of_reg st r :: !bound
+          | Some In_mem | None -> ()))
+      (Block.term_uses b);
+    Block.rewrite_term b ~use:(fun l ->
+        match l with
+        | Loc.Reg r ->
+          bound := flat_of_reg st r :: !bound;
+          l
+        | Loc.Temp t ->
+          let ri = use_temp st (Temp.id t) ~k:tk ~forbidden:!bound in
+          bound := ri :: !bound;
+          Loc.Reg (reg_of_flat st ri));
+    List.iter
+      (fun l ->
+        match Loc.as_temp l with
+        | Some t ->
+          ignore (next_ref st (Temp.id t) ~pos:(Linear.use_pos tk + 1))
+        | None -> ())
+      (Block.term_uses b);
+    release_dead st ~pos:(Linear.use_pos tk);
+    (* Record bottom-of-block state and the consistency snapshot. *)
+    Bitset.iter
+      (fun id ->
+        let l =
+          match st.loc.(id) with
+          | Some l -> l
+          | None ->
+            st.loc.(id) <- Some In_mem;
+            In_mem
+        in
+        Hashtbl.replace res.bottom_loc.(bi) id l)
+      (Liveness.live_out liveness label);
+    for id = 0 to ntemps - 1 do
+      if st.consistent.(id) then Bitset.add res.are_consistent.(bi) id
+    done;
+    Block.set_body b (Array.of_list (List.rev st.emit_rev));
+    visited.(bi) <- true
+  done;
+  res

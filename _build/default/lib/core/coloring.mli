@@ -1,0 +1,19 @@
+(** Graph-coloring register allocation: George and Appel's iterated
+    register coalescing, the comparison point of the paper's evaluation
+    (§3). Adjacency lives in a lower-triangular bit matrix and the two
+    register classes are solved as separate coloring problems, both as the
+    paper describes for its Alpha implementation. Spill code inserted by
+    the spill-and-rebuild loop is tagged with the [Evict] phase so the
+    simulator's Figure-3 categorisation covers both allocators. *)
+
+open Lsra_ir
+open Lsra_target
+
+exception Coloring_failure of string
+
+(** Allocate one function in place. *)
+val run : Machine.t -> Func.t -> Stats.t
+
+(** Allocate every function of a program; returns accumulated stats
+    ([coloring_iterations] and [interference_edges] feed Table 3). *)
+val run_program : Machine.t -> Program.t -> Stats.t

@@ -1,0 +1,77 @@
+open Lsra_ir
+
+type seg = { s : int; e : int }
+
+type ref_kind = Read | Write
+
+type ref_point = { rpos : int; rkind : ref_kind; rdepth : int }
+
+type t = {
+  temp : Temp.t;
+  segs : seg array;
+  refs : ref_point array;
+}
+
+let make ~temp ~segs ~refs =
+  Array.iteri
+    (fun i { s; e } ->
+      assert (s <= e);
+      if i > 0 then assert (segs.(i - 1).e < s))
+    segs;
+  Array.iteri
+    (fun i r -> if i > 0 then assert (refs.(i - 1).rpos <= r.rpos))
+    refs;
+  { temp; segs; refs }
+
+let temp t = t.temp
+let segs t = Array.to_list t.segs
+let refs t = Array.to_list t.refs
+let is_empty t = Array.length t.segs = 0
+
+let start t =
+  if is_empty t then invalid_arg "Interval.start: empty" else t.segs.(0).s
+
+let stop t =
+  if is_empty t then invalid_arg "Interval.stop: empty"
+  else t.segs.(Array.length t.segs - 1).e
+
+(* Binary search: index of the first segment with e >= pos, or length. *)
+let seg_search t pos =
+  let lo = ref 0 and hi = ref (Array.length t.segs) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if t.segs.(mid).e < pos then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+let covers t pos =
+  let i = seg_search t pos in
+  i < Array.length t.segs && t.segs.(i).s <= pos
+
+let in_hole t pos =
+  (not (is_empty t)) && pos > start t && pos < stop t && not (covers t pos)
+
+let live_at t pos = covers t pos
+
+let next_ref_at t ~cursor ~pos =
+  let n = Array.length t.refs in
+  let c = ref cursor in
+  while !c < n && t.refs.(!c).rpos < pos do
+    incr c
+  done;
+  !c
+
+let ref_at t i = t.refs.(i)
+let n_refs t = Array.length t.refs
+
+let holes t =
+  let hs = ref [] in
+  Array.iteri
+    (fun i { s; _ } ->
+      if i > 0 then hs := { s = t.segs.(i - 1).e + 1; e = s - 1 } :: !hs)
+    t.segs;
+  List.rev !hs
+
+let pp fmt t =
+  Format.fprintf fmt "%s:" (Temp.to_string t.temp);
+  Array.iter (fun { s; e } -> Format.fprintf fmt " [%d,%d]" s e) t.segs

@@ -1,0 +1,46 @@
+(** Lifetime intervals with holes.
+
+    A temporary's lifetime is the union of disjoint, sorted segments in
+    linear positions; the gaps between consecutive segments are its
+    {e lifetime holes} (paper §2.1). [refs] lists every textual reference
+    with its kind and loop depth, for the eviction-priority heuristic. *)
+
+open Lsra_ir
+
+type seg = { s : int; e : int }
+type ref_kind = Read | Write
+type ref_point = { rpos : int; rkind : ref_kind; rdepth : int }
+type t
+
+(** Segments must be sorted, disjoint and non-touching; refs sorted by
+    position (checked by assertions). *)
+val make : temp:Temp.t -> segs:seg array -> refs:ref_point array -> t
+
+val temp : t -> Temp.t
+val segs : t -> seg list
+val refs : t -> ref_point list
+val is_empty : t -> bool
+
+(** First position of the lifetime. Raises on empty intervals. *)
+val start : t -> int
+
+(** Last position of the lifetime. Raises on empty intervals. *)
+val stop : t -> int
+
+(** Is [pos] inside a segment (the value is or may be needed)? *)
+val covers : t -> int -> bool
+
+(** Is [pos] strictly inside the lifetime but outside every segment? *)
+val in_hole : t -> int -> bool
+
+val live_at : t -> int -> bool
+
+(** [next_ref_at t ~cursor ~pos] advances a monotone cursor to the first
+    reference at or after [pos]; returns the new cursor (= [n_refs] when
+    exhausted). *)
+val next_ref_at : t -> cursor:int -> pos:int -> int
+
+val ref_at : t -> int -> ref_point
+val n_refs : t -> int
+val holes : t -> seg list
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,11 @@
+(** Block-layout pass (extension): reorder the linear block order to
+    reverse postorder. Semantics-preserving; only the linear-scan
+    allocator's resolution costs are affected. *)
+
+open Lsra_ir
+
+(** Labels in reverse postorder, entry first, unreachable blocks last. *)
+val rpo_order : Func.t -> string list
+
+val apply_rpo : Func.t -> unit
+val apply_rpo_program : Program.t -> unit

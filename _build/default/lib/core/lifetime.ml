@@ -1,0 +1,164 @@
+open Lsra_ir
+open Lsra_analysis
+
+type t = {
+  linear : Linear.t;
+  intervals : Interval.t array;
+  reg_busy : Interval.seg array array;
+  block_depth : int array;
+}
+
+let temp_locs locs = List.filter_map Loc.as_temp locs
+let reg_locs locs = List.filter_map Loc.as_reg locs
+
+(* One reverse pass over the linear order computes, per temporary, the live
+   segments (whose gaps are the lifetime holes) and, per machine register,
+   the busy segments imposed by explicit register operands and call
+   clobbers (paper §2.1, §2.5). *)
+let compute regidx func liveness loops =
+  let linear = Linear.number func in
+  let cfg = Func.cfg func in
+  let blocks = Cfg.blocks cfg in
+  let nb = Array.length blocks in
+  let ntemps = Func.temp_bound func in
+  let nregs = Regidx.total regidx in
+  let block_depth = Array.init nb (fun i -> Loop.depth loops i) in
+
+  (* Per-temp open segment end (-1 = closed) and collected segments in
+     decreasing order. *)
+  let open_end = Array.make ntemps (-1) in
+  let segs : Interval.seg list array = Array.make ntemps [] in
+  let temps_of : Temp.t option array = Array.make ntemps None in
+  let reg_open = Array.make nregs (-1) in
+  let reg_segs : Interval.seg list array = Array.make nregs [] in
+
+  let close_temp id spos =
+    if open_end.(id) >= 0 then begin
+      segs.(id) <- { Interval.s = spos; e = open_end.(id) } :: segs.(id);
+      open_end.(id) <- -1
+    end
+  in
+  let close_reg ri spos =
+    if reg_open.(ri) >= 0 then begin
+      reg_segs.(ri) <- { Interval.s = spos; e = reg_open.(ri) } :: reg_segs.(ri);
+      reg_open.(ri) <- -1
+    end
+  in
+
+  for bi = nb - 1 downto 0 do
+    let b = blocks.(bi) in
+    let bottom = Linear.block_bottom linear bi in
+    Bitset.iter
+      (fun id -> open_end.(id) <- bottom)
+      (Liveness.live_out liveness (Block.label b));
+    let body = Block.body b in
+    let nbody = Array.length body in
+    let last = Linear.last_instr linear bi in
+    (* Process instruction slot [k] (linear index) given its defs/uses. *)
+    let step k (defs : Loc.t list) (uses : Loc.t list) =
+      let dp = Linear.def_pos k and up = Linear.use_pos k in
+      List.iter
+        (fun tp ->
+          let id = Temp.id tp in
+          temps_of.(id) <- Some tp;
+          if open_end.(id) >= 0 then close_temp id dp
+          else segs.(id) <- { Interval.s = dp; e = dp } :: segs.(id))
+        (temp_locs defs);
+      List.iter
+        (fun r ->
+          let ri = Regidx.of_reg regidx r in
+          if reg_open.(ri) >= 0 then close_reg ri dp
+          else reg_segs.(ri) <- { Interval.s = dp; e = dp } :: reg_segs.(ri))
+        (reg_locs defs);
+      List.iter
+        (fun tp ->
+          let id = Temp.id tp in
+          temps_of.(id) <- Some tp;
+          if open_end.(id) < 0 then open_end.(id) <- up)
+        (temp_locs uses);
+      List.iter
+        (fun r ->
+          let ri = Regidx.of_reg regidx r in
+          if reg_open.(ri) < 0 then reg_open.(ri) <- up)
+        (reg_locs uses)
+    in
+    step last [] (Block.term_uses b);
+    for j = nbody - 1 downto 0 do
+      let k = Linear.first_instr linear bi + j in
+      step k (Instr.defs body.(j)) (Instr.uses body.(j))
+    done;
+    let top = Linear.block_top linear bi in
+    for id = 0 to ntemps - 1 do
+      close_temp id top
+    done;
+    (* Registers still open at block top are live-in by convention: the
+       entry block's parameter registers. Elsewhere this is conservative
+       but harmless. *)
+    for ri = 0 to nregs - 1 do
+      close_reg ri top
+    done
+  done;
+
+  (* Reference points, gathered forward. *)
+  let refs : Interval.ref_point list array = Array.make ntemps [] in
+  Array.iteri
+    (fun bi b ->
+      let depth = block_depth.(bi) in
+      let note k kind locs =
+        List.iter
+          (fun tp ->
+            let id = Temp.id tp in
+            let rpos =
+              match kind with
+              | Interval.Read -> Linear.use_pos k
+              | Interval.Write -> Linear.def_pos k
+            in
+            refs.(id) <-
+              { Interval.rpos; rkind = kind; rdepth = depth } :: refs.(id))
+          (temp_locs locs)
+      in
+      Array.iteri
+        (fun j i ->
+          let k = Linear.first_instr linear bi + j in
+          note k Interval.Read (Instr.uses i);
+          note k Interval.Write (Instr.defs i))
+        (Block.body b);
+      note (Linear.last_instr linear bi) Interval.Read (Block.term_uses b))
+    blocks;
+
+  let merge_segments l =
+    (* The reverse sweep prepends, so [l] is already in increasing
+       position order; coalesce touching segments. *)
+    let sorted = l in
+    let rec go acc = function
+      | [] -> List.rev acc
+      | seg :: rest -> (
+        match acc with
+        | { Interval.s; e } :: acc' when seg.Interval.s <= e + 1 ->
+          go ({ Interval.s; e = max e seg.Interval.e } :: acc') rest
+        | _ -> go (seg :: acc) rest)
+    in
+    go [] sorted
+  in
+  let intervals =
+    Array.init ntemps (fun id ->
+        let temp =
+          match temps_of.(id) with
+          | Some t -> t
+          | None -> Temp.make ~cls:Rclass.Int id
+        in
+        Interval.make ~temp
+          ~segs:(Array.of_list (merge_segments segs.(id)))
+          ~refs:(Array.of_list (List.rev refs.(id))))
+  in
+  let reg_busy =
+    Array.init nregs (fun ri -> Array.of_list (merge_segments reg_segs.(ri)))
+  in
+  { linear; intervals; reg_busy; block_depth }
+
+let linear t = t.linear
+let interval t temp = t.intervals.(Temp.id temp)
+let interval_of_id t id = t.intervals.(id)
+let reg_busy t ri = t.reg_busy.(ri)
+let block_depth t bi = t.block_depth.(bi)
+let n_temps t = Array.length t.intervals

@@ -1,0 +1,23 @@
+(** The lifetimes-and-holes pass (paper §2.1): a single reverse sweep over
+    the linear order that produces, for every temporary, its lifetime
+    segments (gaps = holes), and for every machine register the segments
+    during which a convention makes it unavailable (explicit register
+    operands, call argument/clobber effects). *)
+
+open Lsra_ir
+open Lsra_analysis
+
+type t
+
+val compute : Regidx.t -> Func.t -> Liveness.t -> Loop.t -> t
+val linear : t -> Linear.t
+val interval : t -> Temp.t -> Interval.t
+val interval_of_id : t -> int -> Interval.t
+
+(** Busy segments of a register, by flat index, sorted and disjoint. *)
+val reg_busy : t -> int -> Interval.seg array
+
+(** Loop depth of a block by linear index. *)
+val block_depth : t -> int -> int
+
+val n_temps : t -> int

@@ -1,0 +1,13 @@
+(** Poletto/Engler/Kaashoek-style linear scan (paper §4, related work):
+    convex intervals without holes, an active list, spill-furthest-end,
+    whole lifetimes to memory, and registers reserved up front for spill
+    code. The weakest but fastest of the four allocators; included as the
+    family's original point of comparison. *)
+
+open Lsra_ir
+open Lsra_target
+
+exception Out_of_registers of string
+
+val run : Machine.t -> Func.t -> Stats.t
+val run_program : Machine.t -> Program.t -> Stats.t

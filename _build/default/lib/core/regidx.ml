@@ -1,0 +1,26 @@
+open Lsra_ir
+open Lsra_target
+
+type t = { machine : Machine.t; n_int : int; total : int }
+
+let create machine =
+  let n_int = Machine.n_regs machine Rclass.Int in
+  { machine; n_int; total = n_int + Machine.n_regs machine Rclass.Float }
+
+let machine t = t.machine
+let total t = t.total
+
+let of_reg t r =
+  match Mreg.cls r with
+  | Rclass.Int -> Mreg.idx r
+  | Rclass.Float -> t.n_int + Mreg.idx r
+
+let to_reg t i =
+  if i < 0 || i >= t.total then invalid_arg "Regidx.to_reg";
+  if i < t.n_int then Mreg.make ~cls:Rclass.Int i
+  else Mreg.make ~cls:Rclass.Float (i - t.n_int)
+
+let of_cls t cls =
+  match cls with
+  | Rclass.Int -> List.init t.n_int (fun i -> i)
+  | Rclass.Float -> List.init (t.total - t.n_int) (fun i -> t.n_int + i)

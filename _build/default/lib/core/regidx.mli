@@ -1,0 +1,20 @@
+(** Dense indexing of a machine's registers across both classes, for
+    array-based allocator state. *)
+
+open Lsra_ir
+open Lsra_target
+
+type t
+
+val create : Machine.t -> t
+val machine : t -> Machine.t
+
+(** Total register count across classes; flat indices live in
+    [0, total). *)
+val total : t -> int
+
+val of_reg : t -> Mreg.t -> int
+val to_reg : t -> int -> Mreg.t
+
+(** Flat indices of all registers of a class, in register order. *)
+val of_cls : t -> Rclass.t -> int list

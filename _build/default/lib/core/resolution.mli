@@ -1,0 +1,9 @@
+(** The resolution phase (paper §2.4): reconcile the linear scan's
+    allocation assumptions with the actual CFG by inserting loads, stores
+    and moves on edges, with parallel-move sequentialisation (register
+    swaps included), plus the iterative consistency dataflow that decides
+    where suppressed spill stores must be reinstated. *)
+
+(** Mutates the scanned function; resolution instructions carry the
+    [Resolve] spill tag and are counted into the scan's {!Stats.t}. *)
+val run : Binpack.t -> unit

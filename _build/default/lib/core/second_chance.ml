@@ -1,0 +1,16 @@
+open Lsra_ir
+
+let run ?(opts = Binpack.default_options) machine func =
+  let t0 = Sys.time () in
+  let scanned = Binpack.scan ~opts machine func in
+  Resolution.run scanned;
+  let stats = scanned.Binpack.stats in
+  stats.Stats.alloc_time <- Sys.time () -. t0;
+  stats
+
+let run_program ?opts machine prog =
+  let total = Stats.create () in
+  List.iter
+    (fun (_, f) -> Stats.add ~into:total (run ?opts machine f))
+    (Program.funcs prog);
+  total

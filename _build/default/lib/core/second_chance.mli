@@ -1,0 +1,13 @@
+(** Complete second-chance binpacking register allocation: the
+    allocate-and-rewrite scan followed by CFG-edge resolution. The paper's
+    primary contribution, as a one-call API. *)
+
+open Lsra_ir
+open Lsra_target
+
+(** Allocate one function in place; every temporary location is rewritten
+    to a machine register and spill code carries provenance tags. *)
+val run : ?opts:Binpack.options -> Machine.t -> Func.t -> Stats.t
+
+(** Allocate every function of a program; returns accumulated stats. *)
+val run_program : ?opts:Binpack.options -> Machine.t -> Program.t -> Stats.t

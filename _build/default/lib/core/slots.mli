@@ -1,0 +1,9 @@
+(** Frame compaction (extension): renumber spill slots so slots with
+    disjoint live ranges share a frame word. Returns the number of frame
+    words saved. Run after allocation (and after {!Motion}, which can
+    only reduce slot liveness). *)
+
+open Lsra_ir
+
+val run : Func.t -> int
+val run_program : Program.t -> int

@@ -1,0 +1,58 @@
+type t = {
+  mutable evict_loads : int;
+  mutable evict_stores : int;
+  mutable evict_moves : int;
+  mutable resolve_loads : int;
+  mutable resolve_stores : int;
+  mutable resolve_moves : int;
+  mutable slots : int;
+  mutable dataflow_rounds : int;
+  mutable coloring_iterations : int;
+  mutable interference_edges : int;
+  mutable coalesced_moves : int;
+  mutable alloc_time : float;
+}
+
+let create () =
+  {
+    evict_loads = 0;
+    evict_stores = 0;
+    evict_moves = 0;
+    resolve_loads = 0;
+    resolve_stores = 0;
+    resolve_moves = 0;
+    slots = 0;
+    dataflow_rounds = 0;
+    coloring_iterations = 0;
+    interference_edges = 0;
+    coalesced_moves = 0;
+    alloc_time = 0.;
+  }
+
+let total_spill s =
+  s.evict_loads + s.evict_stores + s.evict_moves + s.resolve_loads
+  + s.resolve_stores + s.resolve_moves
+
+let add ~into s =
+  into.evict_loads <- into.evict_loads + s.evict_loads;
+  into.evict_stores <- into.evict_stores + s.evict_stores;
+  into.evict_moves <- into.evict_moves + s.evict_moves;
+  into.resolve_loads <- into.resolve_loads + s.resolve_loads;
+  into.resolve_stores <- into.resolve_stores + s.resolve_stores;
+  into.resolve_moves <- into.resolve_moves + s.resolve_moves;
+  into.slots <- into.slots + s.slots;
+  into.dataflow_rounds <- max into.dataflow_rounds s.dataflow_rounds;
+  into.coloring_iterations <-
+    max into.coloring_iterations s.coloring_iterations;
+  into.interference_edges <- into.interference_edges + s.interference_edges;
+  into.coalesced_moves <- into.coalesced_moves + s.coalesced_moves;
+  into.alloc_time <- into.alloc_time +. s.alloc_time
+
+let pp fmt s =
+  Format.fprintf fmt
+    "@[<v>evict: %d loads, %d stores, %d moves@,\
+     resolve: %d loads, %d stores, %d moves@,\
+     slots: %d; dataflow rounds: %d; coloring iterations: %d@]"
+    s.evict_loads s.evict_stores s.evict_moves s.resolve_loads
+    s.resolve_stores s.resolve_moves s.slots s.dataflow_rounds
+    s.coloring_iterations

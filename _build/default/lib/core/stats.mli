@@ -1,0 +1,27 @@
+(** Static allocation statistics, in the categories of the paper's
+    Figure 3 (evict vs. resolve, load/store/move) plus allocator-internal
+    counters. Dynamic (executed) counts come from the simulator, which
+    classifies instructions by their {!Lsra_ir.Instr.tag}. *)
+
+type t = {
+  mutable evict_loads : int;
+  mutable evict_stores : int;
+  mutable evict_moves : int;
+  mutable resolve_loads : int;
+  mutable resolve_stores : int;
+  mutable resolve_moves : int;
+  mutable slots : int;
+  mutable dataflow_rounds : int;
+  mutable coloring_iterations : int;
+  mutable interference_edges : int;
+  mutable coalesced_moves : int;
+  mutable alloc_time : float;  (** seconds spent inside the allocator *)
+}
+
+val create : unit -> t
+val total_spill : t -> int
+
+(** Accumulate [s] into [into] (max for round/iteration counters). *)
+val add : into:t -> t -> unit
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,270 @@
+open Lsra_ir
+open Lsra_analysis
+
+(* Independent checker for allocator output.
+
+   It abstractly executes the allocated function over a domain mapping
+   every storage location (machine register, spill slot) to the *set* of
+   temporaries whose current value it holds. Sets — rather than a single
+   owner — are needed because coalescing legitimately makes one register
+   carry several temporaries' (equal) values at once: after the original
+   move [t := u] is allocated as a self-move of $r5, the register holds
+   the current value of both [t] and [u].
+
+   Spill loads/stores and allocator-inserted moves copy content sets; an
+   original instruction (matched to the input program by uid) must find,
+   for each temporary it used in the input, that temporary in its
+   register's content set, and its defs remove the defined temporary from
+   every stale copy. Block joins meet by intersection and the analysis
+   runs to a fixed point, so values surviving loops in different
+   locations on different paths are checked soundly. *)
+
+type astate = {
+  regs : Bitset.t array; (* flat register index -> set of temp ids *)
+  slots : Bitset.t array;
+}
+
+type error = { where : string; what : string }
+
+exception Mismatch of error
+
+let fail where fmt =
+  Printf.ksprintf (fun what -> raise (Mismatch { where; what })) fmt
+
+let copy_state s =
+  {
+    regs = Array.map Bitset.copy s.regs;
+    slots = Array.map Bitset.copy s.slots;
+  }
+
+let meet_into ~dst ~src =
+  let changed = ref false in
+  let cell d s = if Bitset.inter_into ~dst:d ~src:s then changed := true in
+  Array.iteri (fun i d -> cell d src.regs.(i)) dst.regs;
+  Array.iteri (fun i d -> cell d src.slots.(i)) dst.slots;
+  !changed
+
+type original = { o_uses : Loc.t list; o_defs : Loc.t list }
+
+let index_original (func : Func.t) =
+  let tbl = Hashtbl.create 256 in
+  Cfg.iter_blocks
+    (fun b ->
+      Array.iter
+        (fun i ->
+          Hashtbl.replace tbl (Instr.uid i)
+            { o_uses = Instr.uses i; o_defs = Instr.defs i })
+        (Block.body b);
+      Hashtbl.replace tbl (Block.term_uid b)
+        { o_uses = Block.term_uses b; o_defs = [] })
+    (Func.cfg func);
+  tbl
+
+let run machine ~original ~allocated =
+  let regidx = Regidx.create machine in
+  let nregs = Regidx.total regidx in
+  let orig = index_original original in
+  let cfg = Func.cfg allocated in
+  let nslots = Func.n_slots allocated in
+  let ntemps = max (Func.temp_bound original) (Func.temp_bound allocated) in
+  let flat r = Regidx.of_reg regidx r in
+
+  (* Structural check: no temporaries remain. *)
+  Cfg.iter_blocks
+    (fun b ->
+      let check_loc where (l : Loc.t) =
+        match l with
+        | Loc.Temp t ->
+          fail where "temporary %s survives allocation" (Temp.to_string t)
+        | Loc.Reg _ -> ()
+      in
+      Array.iter
+        (fun i ->
+          List.iter (check_loc (Instr.to_string i)) (Instr.uses i);
+          List.iter (check_loc (Instr.to_string i)) (Instr.defs i))
+        (Block.body b);
+      List.iter
+        (check_loc (Block.term_to_string (Block.term b)))
+        (Block.term_uses b))
+    cfg;
+
+  let kill_temp st id =
+    Array.iter (fun s -> Bitset.remove s id) st.regs;
+    Array.iter (fun s -> Bitset.remove s id) st.slots
+  in
+
+  let exec_instr st (i : Instr.t) =
+    let where = Instr.to_string i in
+    let reg_of where (l : Loc.t) =
+      match l with
+      | Loc.Reg r -> r
+      | Loc.Temp _ -> fail where "unexpected temporary"
+    in
+    let check_original_refs o uses defs =
+      (* Uses: original temp operands must be found, positionally, in
+         registers holding their current value; register operands must be
+         untouched. *)
+      List.iter2
+        (fun (ol : Loc.t) (al : Loc.t) ->
+          match ol with
+          | Loc.Temp t ->
+            let r = reg_of where al in
+            if not (Bitset.mem st.regs.(flat r) (Temp.id t)) then
+              if Bitset.is_empty st.regs.(flat r) then
+                fail where "use of %s reads %s, whose contents are unknown"
+                  (Temp.to_string t) (Mreg.to_string r)
+              else
+                fail where
+                  "use of %s reads %s, which holds the value of other temps"
+                  (Temp.to_string t) (Mreg.to_string r)
+          | Loc.Reg r ->
+            let r' = reg_of where al in
+            if not (Mreg.equal r r') then
+              fail where "register operand %s was rewritten to %s"
+                (Mreg.to_string r) (Mreg.to_string r'))
+        o.o_uses uses;
+      (* Defs: stale copies of the defined temp die everywhere; the
+         target location's content becomes... the new value. For a move,
+         the destination additionally keeps the source's content (it is a
+         copy); for any other instruction the target holds only the
+         defined temp. *)
+      let move_source_content () =
+        match Instr.desc i with
+        | Instr.Move { src = Operand.Loc (Loc.Reg rs); _ } ->
+          Some (Bitset.copy st.regs.(flat rs))
+        | Instr.Move _ | Instr.Bin _ | Instr.Un _ | Instr.Cmp _
+        | Instr.Load _ | Instr.Store _ | Instr.Spill_load _
+        | Instr.Spill_store _ | Instr.Call _ | Instr.Nop ->
+          None
+      in
+      (* capture before killing: src content may include the def'd temp's
+         old value, which must not leak *)
+      let src_content = move_source_content () in
+      List.iter2
+        (fun (ol : Loc.t) (al : Loc.t) ->
+          match ol with
+          | Loc.Temp t ->
+            let r = reg_of where al in
+            let id = Temp.id t in
+            kill_temp st id;
+            let dst = st.regs.(flat r) in
+            Bitset.clear dst;
+            (match src_content with
+            | Some src ->
+              Bitset.remove src id;
+              ignore (Bitset.union_into ~dst ~src)
+            | None -> ());
+            Bitset.add dst id
+          | Loc.Reg r ->
+            let r' = reg_of where al in
+            if not (Mreg.equal r r') then
+              fail where "register def %s was rewritten to %s"
+                (Mreg.to_string r) (Mreg.to_string r');
+            let dst = st.regs.(flat r) in
+            Bitset.clear dst;
+            (match src_content with
+            | Some src -> ignore (Bitset.union_into ~dst ~src)
+            | None -> ()))
+        o.o_defs defs
+    in
+    match Instr.tag i with
+    | Instr.Original -> (
+      match Hashtbl.find_opt orig (Instr.uid i) with
+      | None -> fail where "instruction does not come from the input program"
+      | Some o ->
+        check_original_refs o (Instr.uses i) (Instr.defs i);
+        (* Calls additionally clobber caller-saved registers. *)
+        (match Instr.desc i with
+        | Instr.Call { clobbers; rets; _ } ->
+          List.iter
+            (fun r ->
+              if not (List.exists (Mreg.equal r) rets) then
+                Bitset.clear st.regs.(flat r))
+            clobbers
+        | Instr.Move _ | Instr.Bin _ | Instr.Un _ | Instr.Cmp _
+        | Instr.Load _ | Instr.Store _ | Instr.Spill_load _
+        | Instr.Spill_store _ | Instr.Nop ->
+          ()))
+    | Instr.Spill _ -> (
+      (* Allocator-inserted code copies content sets around. *)
+      match Instr.desc i with
+      | Instr.Spill_load { dst; slot } ->
+        let r = reg_of where dst in
+        if slot >= nslots then fail where "slot %d out of range" slot;
+        Bitset.assign ~dst:st.regs.(flat r) ~src:st.slots.(slot)
+      | Instr.Spill_store { src; slot } ->
+        let r = reg_of where src in
+        if slot >= nslots then fail where "slot %d out of range" slot;
+        Bitset.assign ~dst:st.slots.(slot) ~src:st.regs.(flat r)
+      | Instr.Move { dst; src = Operand.Loc srcl } ->
+        let rd = reg_of where dst and rs = reg_of where srcl in
+        Bitset.assign ~dst:st.regs.(flat rd) ~src:st.regs.(flat rs)
+      | Instr.Move _ | Instr.Bin _ | Instr.Un _ | Instr.Cmp _
+      | Instr.Load _ | Instr.Store _ | Instr.Call _ | Instr.Nop ->
+        fail where "unexpected allocator-inserted instruction shape")
+  in
+
+  let exec_term st (b : Block.t) =
+    match Hashtbl.find_opt orig (Block.term_uid b) with
+    | None ->
+      (* A block created by resolution: its terminator is a plain jump. *)
+      (match Block.term b with
+      | Block.Jump _ -> ()
+      | Block.Branch _ | Block.Ret ->
+        fail (Block.label b) "resolution block with a non-jump terminator")
+    | Some o ->
+      List.iter2
+        (fun (ol : Loc.t) (al : Loc.t) ->
+          match ol, al with
+          | Loc.Temp t, Loc.Reg r ->
+            if not (Bitset.mem st.regs.(flat r) (Temp.id t)) then
+              fail (Block.label b) "terminator use of %s unsatisfied"
+                (Temp.to_string t)
+          | Loc.Reg r, Loc.Reg r' ->
+            if not (Mreg.equal r r') then
+              fail (Block.label b) "terminator register operand rewritten"
+          | _, Loc.Temp t ->
+            fail (Block.label b) "temporary %s in terminator"
+              (Temp.to_string t))
+        o.o_uses (Block.term_uses b)
+  in
+
+  (* Fixed-point walk over the allocated CFG. *)
+  let blocks = Cfg.blocks cfg in
+  let nb = Array.length blocks in
+  let in_state : astate option array = Array.make nb None in
+  let entry = Cfg.block_index cfg (Cfg.entry cfg) in
+  in_state.(entry) <-
+    Some
+      {
+        regs = Array.init nregs (fun _ -> Bitset.create ntemps);
+        slots = Array.init nslots (fun _ -> Bitset.create ntemps);
+      };
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    Array.iteri
+      (fun bi b ->
+        match in_state.(bi) with
+        | None -> ()
+        | Some s0 ->
+          let st = copy_state s0 in
+          Array.iter (exec_instr st) (Block.body b);
+          exec_term st b;
+          List.iter
+            (fun l ->
+              let si = Cfg.block_index cfg l in
+              match in_state.(si) with
+              | None ->
+                in_state.(si) <- Some (copy_state st);
+                changed := true
+              | Some dst -> if meet_into ~dst ~src:st then changed := true)
+            (Block.succ_labels b))
+      blocks
+  done;
+  ()
+
+let check machine ~original ~allocated =
+  match run machine ~original ~allocated with
+  | () -> Ok ()
+  | exception Mismatch e -> Error e

@@ -1,0 +1,24 @@
+(** Independent allocation verifier.
+
+    [check machine ~original ~allocated] abstractly executes the allocated
+    function, tracking which temporary's current value each register and
+    spill slot holds, to a fixed point over the CFG. Every instruction
+    carried over from the original program (matched by uid) must read each
+    of its temporaries from a register that provably holds that
+    temporary's current value; redefinitions invalidate stale copies
+    everywhere. This catches wrong resolution code, missed spill stores,
+    clobbered caller-saved values and register swaps sequenced in the
+    wrong order — independently of any particular execution. *)
+
+open Lsra_ir
+open Lsra_target
+
+type error = { where : string; what : string }
+
+exception Mismatch of error
+
+(** Raises {!Mismatch} on the first inconsistency. *)
+val run : Machine.t -> original:Func.t -> allocated:Func.t -> unit
+
+val check :
+  Machine.t -> original:Func.t -> allocated:Func.t -> (unit, error) result

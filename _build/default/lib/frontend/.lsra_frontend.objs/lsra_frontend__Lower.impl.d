@@ -1,0 +1,1 @@
+lib/frontend/lower.ml: Ast Builder Hashtbl Instr List Loc Lsra_ir Lsra_target Machine Operand Printf Program Rclass Temp

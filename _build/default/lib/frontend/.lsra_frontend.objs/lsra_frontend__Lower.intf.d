@@ -1,0 +1,1 @@
+lib/frontend/lower.mli: Ast Lsra_ir Lsra_target Machine Program

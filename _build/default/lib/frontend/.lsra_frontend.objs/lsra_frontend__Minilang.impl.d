@@ -1,0 +1,1 @@
+lib/frontend/minilang.ml: List Lower Lsra_analysis Lsra_ir Parser

@@ -1,0 +1,1 @@
+lib/frontend/minilang.mli: Lsra_ir Lsra_target Machine Program

@@ -1,0 +1,73 @@
+(* Abstract syntax of Minilang, the demonstration frontend. *)
+
+type pos = { line : int; col : int }
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Mod
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | Eq
+  | Ne
+  | And (* eager, on 0/1 values *)
+  | Or
+  | Bxor
+  | Band
+  | Bor
+  | Shl
+  | Shr
+
+type unop = Neg | Not
+
+type expr =
+  | Int of int
+  | Float of float
+  | Var of string
+  | Bin of binop * expr * expr
+  | Un of unop * expr
+  | Call of string * expr list
+  | Index of expr * expr (* a[i] *)
+  | Getc
+  | Alloc of expr
+  | Itof of expr
+  | Ftoi of expr
+
+type stmt =
+  | Decl of string * expr
+  | Assign of string * expr
+  | Store of expr * expr * expr (* a[i] = e *)
+  | If of expr * stmt list * stmt list
+  | While of expr * stmt list
+  | Print of expr
+  | Putc of expr
+  | Return of expr
+  | Expr of expr
+
+type func = { fname : string; params : string list; body : stmt list }
+
+type program = func list
+
+let binop_to_string = function
+  | Add -> "+"
+  | Sub -> "-"
+  | Mul -> "*"
+  | Div -> "/"
+  | Mod -> "%"
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+  | Eq -> "=="
+  | Ne -> "!="
+  | And -> "&&"
+  | Or -> "||"
+  | Bxor -> "^"
+  | Band -> "&"
+  | Bor -> "|"
+  | Shl -> "<<"
+  | Shr -> ">>"

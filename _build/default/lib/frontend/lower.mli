@@ -1,0 +1,12 @@
+(** Lowering Minilang to the register-allocation IR.
+
+    Typing rules: a variable's class is fixed by its initialiser; arrays
+    hold integers; conditions, indices, call arguments and return values
+    are integers. Functions that fall off their end return 0. *)
+
+open Lsra_ir
+open Lsra_target
+
+exception Error of string
+
+val lower : ?heap_words:int -> Machine.t -> Ast.program -> Program.t

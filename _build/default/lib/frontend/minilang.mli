@@ -1,0 +1,22 @@
+(** Minilang, a small C-like language, compiled to the allocation IR —
+    the demonstration "downstream user" of this library.
+
+    {[
+      fn sq(x) { return x * x; }
+
+      fn main() {
+        var i = 0;
+        var sum = 0;
+        while (i < 10) { sum = sum + sq(i); i = i + 1; }
+        print(sum);
+        return sum;
+      }
+    ]}
+
+    Raises {!Parser.Error} on syntax errors and {!Lower.Error} on
+    semantic ones. *)
+
+open Lsra_ir
+open Lsra_target
+
+val compile : ?heap_words:int -> Machine.t -> string -> Program.t

@@ -1,0 +1,348 @@
+(* Hand-written lexer and recursive-descent parser for Minilang.
+
+   program  := fn*
+   fn       := "fn" ident "(" params? ")" block
+   block    := "{" stmt* "}"
+   stmt     := "var" ident "=" expr ";"
+             | "if" "(" expr ")" block ("else" block)?
+             | "while" "(" expr ")" block
+             | "print" "(" expr ")" ";"
+             | "putc" "(" expr ")" ";"
+             | "return" expr ";"
+             | ident "=" expr ";"
+             | expr "[" expr "]" "=" expr ";"
+             | expr ";"
+   expr     := precedence-climbing over || && | ^ & == != < <= > >=
+               << >> + - * / % with unary - ! and primaries:
+               int, float, ident, call, a[i], getc(), alloc(e),
+               itof(e), ftoi(e), "(" expr ")"
+*)
+
+exception Error of { line : int; msg : string }
+
+type token =
+  | T_int of int
+  | T_float of float
+  | T_ident of string
+  | T_punct of string
+  | T_eof
+
+type lexer = { src : string; mutable pos : int; mutable line : int }
+
+let err lx fmt =
+  Printf.ksprintf (fun msg -> raise (Error { line = lx.line; msg })) fmt
+
+let is_digit c = c >= '0' && c <= '9'
+
+let is_ident_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_ident_char c = is_ident_start c || is_digit c
+
+let rec skip_ws lx =
+  let n = String.length lx.src in
+  if lx.pos < n then begin
+    match lx.src.[lx.pos] with
+    | ' ' | '\t' | '\r' ->
+      lx.pos <- lx.pos + 1;
+      skip_ws lx
+    | '\n' ->
+      lx.pos <- lx.pos + 1;
+      lx.line <- lx.line + 1;
+      skip_ws lx
+    | '#' ->
+      while lx.pos < n && lx.src.[lx.pos] <> '\n' do
+        lx.pos <- lx.pos + 1
+      done;
+      skip_ws lx
+    | _ -> ()
+  end
+
+let two_char_puncts = [ "=="; "!="; "<="; ">="; "&&"; "||"; "<<"; ">>" ]
+
+let next_token lx =
+  skip_ws lx;
+  let n = String.length lx.src in
+  if lx.pos >= n then T_eof
+  else begin
+    let c = lx.src.[lx.pos] in
+    if is_digit c then begin
+      let start = lx.pos in
+      while lx.pos < n && is_digit lx.src.[lx.pos] do
+        lx.pos <- lx.pos + 1
+      done;
+      if lx.pos < n && lx.src.[lx.pos] = '.' then begin
+        lx.pos <- lx.pos + 1;
+        while lx.pos < n && is_digit lx.src.[lx.pos] do
+          lx.pos <- lx.pos + 1
+        done;
+        T_float (float_of_string (String.sub lx.src start (lx.pos - start)))
+      end
+      else T_int (int_of_string (String.sub lx.src start (lx.pos - start)))
+    end
+    else if is_ident_start c then begin
+      let start = lx.pos in
+      while lx.pos < n && is_ident_char lx.src.[lx.pos] do
+        lx.pos <- lx.pos + 1
+      done;
+      T_ident (String.sub lx.src start (lx.pos - start))
+    end
+    else begin
+      let two =
+        if lx.pos + 1 < n then String.sub lx.src lx.pos 2 else ""
+      in
+      if List.mem two two_char_puncts then begin
+        lx.pos <- lx.pos + 2;
+        T_punct two
+      end
+      else if String.contains "+-*/%<>=!&|^(){}[];," c then begin
+        lx.pos <- lx.pos + 1;
+        T_punct (String.make 1 c)
+      end
+      else err lx "unexpected character %C" c
+    end
+  end
+
+type parser_state = {
+  lx : lexer;
+  mutable tok : token;
+}
+
+let advance ps = ps.tok <- next_token ps.lx
+let perr ps fmt = Printf.ksprintf (fun msg -> raise (Error { line = ps.lx.line; msg })) fmt
+
+let expect_punct ps p =
+  match ps.tok with
+  | T_punct q when q = p -> advance ps
+  | _ -> perr ps "expected %S" p
+
+let expect_ident ps what =
+  match ps.tok with
+  | T_ident s ->
+    advance ps;
+    s
+  | _ -> perr ps "expected %s" what
+
+let accept_punct ps p =
+  match ps.tok with
+  | T_punct q when q = p ->
+    advance ps;
+    true
+  | _ -> false
+
+(* precedence, loosest first *)
+let prec_of = function
+  | "||" -> Some (1, Ast.Or)
+  | "&&" -> Some (2, Ast.And)
+  | "|" -> Some (3, Ast.Bor)
+  | "^" -> Some (4, Ast.Bxor)
+  | "&" -> Some (5, Ast.Band)
+  | "==" -> Some (6, Ast.Eq)
+  | "!=" -> Some (6, Ast.Ne)
+  | "<" -> Some (7, Ast.Lt)
+  | "<=" -> Some (7, Ast.Le)
+  | ">" -> Some (7, Ast.Gt)
+  | ">=" -> Some (7, Ast.Ge)
+  | "<<" -> Some (8, Ast.Shl)
+  | ">>" -> Some (8, Ast.Shr)
+  | "+" -> Some (9, Ast.Add)
+  | "-" -> Some (9, Ast.Sub)
+  | "*" -> Some (10, Ast.Mul)
+  | "/" -> Some (10, Ast.Div)
+  | "%" -> Some (10, Ast.Mod)
+  | _ -> None
+
+let rec parse_expr ps = parse_binary ps 0
+
+and parse_binary ps min_prec =
+  let lhs = ref (parse_unary ps) in
+  let continue_ = ref true in
+  while !continue_ do
+    match ps.tok with
+    | T_punct p -> (
+      match prec_of p with
+      | Some (prec, op) when prec >= min_prec ->
+        advance ps;
+        let rhs = parse_binary ps (prec + 1) in
+        lhs := Ast.Bin (op, !lhs, rhs)
+      | Some _ | None -> continue_ := false)
+    | _ -> continue_ := false
+  done;
+  !lhs
+
+and parse_unary ps =
+  match ps.tok with
+  | T_punct "-" ->
+    advance ps;
+    Ast.Un (Ast.Neg, parse_unary ps)
+  | T_punct "!" ->
+    advance ps;
+    Ast.Un (Ast.Not, parse_unary ps)
+  | _ -> parse_postfix ps
+
+and parse_postfix ps =
+  let e = ref (parse_primary ps) in
+  let continue_ = ref true in
+  while !continue_ do
+    if accept_punct ps "[" then begin
+      let i = parse_expr ps in
+      expect_punct ps "]";
+      e := Ast.Index (!e, i)
+    end
+    else continue_ := false
+  done;
+  !e
+
+and parse_primary ps =
+  match ps.tok with
+  | T_int k ->
+    advance ps;
+    Ast.Int k
+  | T_float f ->
+    advance ps;
+    Ast.Float f
+  | T_punct "(" ->
+    advance ps;
+    let e = parse_expr ps in
+    expect_punct ps ")";
+    e
+  | T_ident "getc" ->
+    advance ps;
+    expect_punct ps "(";
+    expect_punct ps ")";
+    Ast.Getc
+  | T_ident "alloc" ->
+    advance ps;
+    expect_punct ps "(";
+    let e = parse_expr ps in
+    expect_punct ps ")";
+    Ast.Alloc e
+  | T_ident "itof" ->
+    advance ps;
+    expect_punct ps "(";
+    let e = parse_expr ps in
+    expect_punct ps ")";
+    Ast.Itof e
+  | T_ident "ftoi" ->
+    advance ps;
+    expect_punct ps "(";
+    let e = parse_expr ps in
+    expect_punct ps ")";
+    Ast.Ftoi e
+  | T_ident name -> (
+    advance ps;
+    if accept_punct ps "(" then begin
+      let args = ref [] in
+      if not (accept_punct ps ")") then begin
+        let rec loop () =
+          args := parse_expr ps :: !args;
+          if accept_punct ps "," then loop () else expect_punct ps ")"
+        in
+        loop ()
+      end;
+      Ast.Call (name, List.rev !args)
+    end
+    else Ast.Var name)
+  | T_punct p -> perr ps "unexpected %S" p
+  | T_eof -> perr ps "unexpected end of input"
+
+let rec parse_block ps =
+  expect_punct ps "{";
+  let stmts = ref [] in
+  while not (accept_punct ps "}") do
+    stmts := parse_stmt ps :: !stmts
+  done;
+  List.rev !stmts
+
+and parse_stmt ps =
+  match ps.tok with
+  | T_ident "var" ->
+    advance ps;
+    let name = expect_ident ps "variable name" in
+    expect_punct ps "=";
+    let e = parse_expr ps in
+    expect_punct ps ";";
+    Ast.Decl (name, e)
+  | T_ident "if" ->
+    advance ps;
+    expect_punct ps "(";
+    let c = parse_expr ps in
+    expect_punct ps ")";
+    let then_ = parse_block ps in
+    let else_ =
+      match ps.tok with
+      | T_ident "else" ->
+        advance ps;
+        parse_block ps
+      | _ -> []
+    in
+    Ast.If (c, then_, else_)
+  | T_ident "while" ->
+    advance ps;
+    expect_punct ps "(";
+    let c = parse_expr ps in
+    expect_punct ps ")";
+    Ast.While (c, parse_block ps)
+  | T_ident "print" ->
+    advance ps;
+    expect_punct ps "(";
+    let e = parse_expr ps in
+    expect_punct ps ")";
+    expect_punct ps ";";
+    Ast.Print e
+  | T_ident "putc" ->
+    advance ps;
+    expect_punct ps "(";
+    let e = parse_expr ps in
+    expect_punct ps ")";
+    expect_punct ps ";";
+    Ast.Putc e
+  | T_ident "return" ->
+    advance ps;
+    let e = parse_expr ps in
+    expect_punct ps ";";
+    Ast.Return e
+  | _ -> (
+    (* assignment, indexed store, or expression statement *)
+    let e = parse_expr ps in
+    match e, ps.tok with
+    | Ast.Var name, T_punct "=" ->
+      advance ps;
+      let rhs = parse_expr ps in
+      expect_punct ps ";";
+      Ast.Assign (name, rhs)
+    | Ast.Index (base, idx), T_punct "=" ->
+      advance ps;
+      let rhs = parse_expr ps in
+      expect_punct ps ";";
+      Ast.Store (base, idx, rhs)
+    | _, _ ->
+      expect_punct ps ";";
+      Ast.Expr e)
+
+let parse_fn ps =
+  (match ps.tok with
+  | T_ident "fn" -> advance ps
+  | _ -> perr ps "expected 'fn'");
+  let fname = expect_ident ps "function name" in
+  expect_punct ps "(";
+  let params = ref [] in
+  if not (accept_punct ps ")") then begin
+    let rec loop () =
+      params := expect_ident ps "parameter name" :: !params;
+      if accept_punct ps "," then loop () else expect_punct ps ")"
+    in
+    loop ()
+  end;
+  let body = parse_block ps in
+  { Ast.fname; params = List.rev !params; body }
+
+let parse src =
+  let lx = { src; pos = 0; line = 1 } in
+  let ps = { lx; tok = T_eof } in
+  advance ps;
+  let fns = ref [] in
+  while ps.tok <> T_eof do
+    fns := parse_fn ps :: !fns
+  done;
+  List.rev !fns

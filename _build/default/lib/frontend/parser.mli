@@ -1,0 +1,7 @@
+(** Hand-written lexer and recursive-descent parser for Minilang.
+    Comments run from [#] to end of line. *)
+
+exception Error of { line : int; msg : string }
+
+(** Parse a whole source file. Raises {!Error} with a line number. *)
+val parse : string -> Ast.program

@@ -1,0 +1,1 @@
+lib/ir/builder.ml: Array Block Cfg Func Instr List Loc Operand Printf Temp

@@ -1,0 +1,1 @@
+lib/ir/func.ml: Array Block Cfg Format Hashtbl Instr List Loc Operand Printf Rclass Temp

@@ -1,0 +1,1 @@
+lib/ir/instr.ml: Format List Loc Mreg Operand Printf Rclass String

@@ -1,0 +1,1 @@
+lib/ir/mreg.ml: Format Int Map Printf Rclass Set

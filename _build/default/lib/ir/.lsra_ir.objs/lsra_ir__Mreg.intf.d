@@ -1,0 +1,1 @@
+lib/ir/mreg.mli: Format Map Rclass Set

@@ -1,0 +1,1 @@
+lib/ir/program.ml: Cfg Format Func List Printf

@@ -1,0 +1,1 @@
+lib/ir/rclass.mli: Format

@@ -1,0 +1,1 @@
+lib/ir/temp.mli: Format Hashtbl Map Rclass Set

@@ -1,0 +1,86 @@
+type pending = {
+  p_label : string;
+  mutable p_rev_body : Instr.t list;
+}
+
+type t = {
+  b_name : string;
+  mutable b_next_temp : int;
+  mutable b_entry : string option;
+  mutable b_done : (string * Instr.t list * Block.terminator) list;
+      (* reversed order; body reversed *)
+  mutable b_cur : pending option;
+}
+
+let create ~name =
+  { b_name = name; b_next_temp = 0; b_entry = None; b_done = []; b_cur = None }
+
+let temp ?name b cls =
+  let t = Temp.make ?name ~cls b.b_next_temp in
+  b.b_next_temp <- b.b_next_temp + 1;
+  t
+
+let close b term =
+  match b.b_cur with
+  | None -> invalid_arg "Builder: no open block"
+  | Some p ->
+    b.b_done <- (p.p_label, p.p_rev_body, term) :: b.b_done;
+    b.b_cur <- None
+
+let start_block b label =
+  (match b.b_cur with
+  | Some _ -> close b (Block.Jump label) (* implicit fall-through *)
+  | None -> ());
+  if b.b_entry = None then b.b_entry <- Some label;
+  b.b_cur <- Some { p_label = label; p_rev_body = [] }
+
+let emit b instr =
+  match b.b_cur with
+  | None -> invalid_arg "Builder.emit: no open block"
+  | Some p -> p.p_rev_body <- instr :: p.p_rev_body
+
+let insn b desc = emit b (Instr.make desc)
+
+let move b dst src = insn b (Instr.Move { dst; src })
+let movet b dst src = insn b (Instr.Move { dst = Loc.Temp dst; src })
+let li b dst i = insn b (Instr.Move { dst = Loc.Temp dst; src = Operand.Int i })
+let lf b dst f =
+  insn b (Instr.Move { dst = Loc.Temp dst; src = Operand.Float f })
+
+let bin b op dst a bb = insn b (Instr.Bin { op; dst = Loc.Temp dst; a; b = bb })
+let un b op dst src = insn b (Instr.Un { op; dst = Loc.Temp dst; src })
+let cmp b op dst a bb = insn b (Instr.Cmp { op; dst = Loc.Temp dst; a; b = bb })
+let load b dst base off = insn b (Instr.Load { dst = Loc.Temp dst; base; off })
+let store b src base off = insn b (Instr.Store { src; base; off })
+
+let call b ~func ~args ~rets ~clobbers =
+  insn b (Instr.Call { func; args; rets; clobbers })
+
+let nop b = insn b Instr.Nop
+
+let jump b label = close b (Block.Jump label)
+
+let branch b op a bb ~ifso ~ifnot =
+  close b (Block.Branch { op; a; b = bb; ifso; ifnot })
+
+let ret b = close b Block.Ret
+
+let finish b =
+  (match b.b_cur with
+  | Some p ->
+    invalid_arg
+      (Printf.sprintf "Builder.finish: block %s is unterminated" p.p_label)
+  | None -> ());
+  match b.b_entry with
+  | None -> invalid_arg "Builder.finish: empty function"
+  | Some entry ->
+    let blocks =
+      List.rev_map
+        (fun (label, rev_body, term) ->
+          Block.make ~label ~body:(Array.of_list (List.rev rev_body)) ~term)
+        b.b_done
+    in
+    let cfg = Cfg.create ~entry blocks in
+    let f = Func.create ~name:b.b_name ~cfg ~next_temp:b.b_next_temp in
+    Func.validate f;
+    f

@@ -1,0 +1,53 @@
+(** Imperative construction of IR functions.
+
+    Blocks open with {!start_block} and close with a terminator
+    ({!jump}/{!branch}/{!ret}); starting a new block while one is open
+    inserts an implicit fall-through jump. The first block started is the
+    entry. {!finish} validates the function. *)
+
+type t
+
+val create : name:string -> t
+val temp : ?name:string -> t -> Rclass.t -> Temp.t
+val start_block : t -> string -> unit
+
+(** Append an already-built instruction to the open block. *)
+val emit : t -> Instr.t -> unit
+
+(** Append a fresh instruction with the given payload. *)
+val insn : t -> Instr.desc -> unit
+
+val move : t -> Loc.t -> Operand.t -> unit
+val movet : t -> Temp.t -> Operand.t -> unit
+
+(** Load an integer constant into a temp. *)
+val li : t -> Temp.t -> int -> unit
+
+(** Load a float constant into a temp. *)
+val lf : t -> Temp.t -> float -> unit
+
+val bin : t -> Instr.binop -> Temp.t -> Operand.t -> Operand.t -> unit
+val un : t -> Instr.unop -> Temp.t -> Operand.t -> unit
+val cmp : t -> Instr.cmp -> Temp.t -> Operand.t -> Operand.t -> unit
+val load : t -> Temp.t -> Operand.t -> int -> unit
+val store : t -> Operand.t -> Operand.t -> int -> unit
+
+val call :
+  t ->
+  func:string ->
+  args:Mreg.t list ->
+  rets:Mreg.t list ->
+  clobbers:Mreg.t list ->
+  unit
+
+val nop : t -> unit
+val jump : t -> string -> unit
+
+val branch :
+  t -> Instr.cmp -> Operand.t -> Operand.t -> ifso:string -> ifnot:string -> unit
+
+val ret : t -> unit
+
+(** Close construction, validate, and return the function. Raises
+    [Invalid_argument] if a block is unterminated or no block exists. *)
+val finish : t -> Func.t

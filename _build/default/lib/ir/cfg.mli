@@ -1,0 +1,50 @@
+(** Control-flow graphs.
+
+    The array returned by {!blocks} is the {e linear order}: the layout the
+    binpacking scan walks and against which lifetimes and holes are
+    measured. Appending blocks (e.g. when splitting a critical edge during
+    resolution) extends the linear order at the end. *)
+
+type t
+
+exception Malformed of string
+
+(** [create ~entry blocks] builds a CFG whose linear order is the given
+    list order. Raises {!Malformed} on duplicate labels or a missing
+    entry. *)
+val create : entry:string -> Block.t list -> t
+
+val entry : t -> string
+val entry_block : t -> Block.t
+val blocks : t -> Block.t array
+val n_blocks : t -> int
+val mem : t -> string -> bool
+val block : t -> string -> Block.t
+
+(** Position of a label in the linear order. *)
+val block_index : t -> string -> int
+
+val append_block : t -> Block.t -> unit
+val succs : t -> Block.t -> Block.t list
+
+(** Predecessor labels of every block, in first-encountered order. *)
+val preds_table : t -> (string, string list) Hashtbl.t
+
+(** All CFG edges as [(src_label, dst_label)] pairs. *)
+val edges : t -> (string * string) list
+
+val iter_blocks : (Block.t -> unit) -> t -> unit
+
+(** Check that every branch target exists. Raises {!Malformed}. *)
+val validate : t -> unit
+
+val pp : Format.formatter -> t -> unit
+
+(** Deep copy: fresh blocks, shared instruction values. *)
+val copy : t -> t
+
+(** Permute the linear (layout) order. The list must name every block
+    exactly once, entry first. Raises {!Malformed} otherwise. Semantics
+    are unchanged (branch targets are explicit); only layout-sensitive
+    passes (the linear scan) observe the difference. *)
+val reorder : t -> string list -> unit

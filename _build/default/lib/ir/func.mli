@@ -1,0 +1,42 @@
+(** A function: a CFG plus the supplies for fresh temporaries, spill slots
+    and labels. *)
+
+type t
+
+(** [create ~name ~cfg ~next_temp] wraps a CFG. [next_temp] must exceed
+    every temp id already used in [cfg]. *)
+val create : name:string -> cfg:Cfg.t -> next_temp:int -> t
+
+val name : t -> string
+val cfg : t -> Cfg.t
+
+(** Number of spill slots handed out so far (the frame size an interpreter
+    must provide). *)
+val n_slots : t -> int
+
+(** Exclusive upper bound on temp ids; usable as a dense-array dimension. *)
+val temp_bound : t -> int
+
+val fresh_temp : ?name:string -> t -> Rclass.t -> Temp.t
+val fresh_slot : t -> int
+val fresh_label : ?hint:string -> t -> string
+val iter_instrs : t -> (Instr.t -> unit) -> unit
+
+(** Distinct temporaries referenced, in first-occurrence order. *)
+val temps : t -> Temp.t list
+
+(** Static instruction count (terminators included). *)
+val n_instrs : t -> int
+
+(** Structural and class-consistency checks. Raises {!Cfg.Malformed}. *)
+val validate : t -> unit
+
+val pp : Format.formatter -> t -> unit
+
+(** Deep copy; mutations to the copy (e.g. by an allocator) leave the
+    original untouched. *)
+val copy : t -> t
+
+(** Overwrite the spill-slot count after a pass (frame compaction) has
+    renumbered slots. *)
+val set_slot_count : t -> int -> unit

@@ -1,0 +1,214 @@
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Rem
+  | And
+  | Or
+  | Xor
+  | Sll
+  | Srl
+  | Sra
+  | Fadd
+  | Fsub
+  | Fmul
+  | Fdiv
+
+type unop = Neg | Not | Fneg | Itof | Ftoi
+
+type cmp = Eq | Ne | Lt | Le | Gt | Ge | Feq | Fne | Flt | Fle
+
+type spill_phase = Evict | Resolve
+type spill_kind = Spill_ld | Spill_st | Spill_mv
+
+type tag = Original | Spill of { phase : spill_phase; kind : spill_kind }
+
+type desc =
+  | Move of { dst : Loc.t; src : Operand.t }
+  | Bin of { op : binop; dst : Loc.t; a : Operand.t; b : Operand.t }
+  | Un of { op : unop; dst : Loc.t; src : Operand.t }
+  | Cmp of { op : cmp; dst : Loc.t; a : Operand.t; b : Operand.t }
+  | Load of { dst : Loc.t; base : Operand.t; off : int }
+  | Store of { src : Operand.t; base : Operand.t; off : int }
+  | Spill_load of { dst : Loc.t; slot : int }
+  | Spill_store of { src : Loc.t; slot : int }
+  | Call of {
+      func : string;
+      args : Mreg.t list;
+      rets : Mreg.t list;
+      clobbers : Mreg.t list;
+    }
+  | Nop
+
+type t = { uid : int; desc : desc; tag : tag }
+
+let uid_counter = ref 0
+
+let fresh_uid () =
+  incr uid_counter;
+  !uid_counter
+
+let make ?(tag = Original) desc = { uid = fresh_uid (); desc; tag }
+let with_desc t desc = { t with desc }
+let with_tag t tag = { t with tag }
+
+let uid t = t.uid
+let desc t = t.desc
+let tag t = t.tag
+
+let is_spill t = match t.tag with Spill _ -> true | Original -> false
+
+let binop_cls = function
+  | Add | Sub | Mul | Div | Rem | And | Or | Xor | Sll | Srl | Sra ->
+    Rclass.Int
+  | Fadd | Fsub | Fmul | Fdiv -> Rclass.Float
+
+let cmp_operand_cls = function
+  | Eq | Ne | Lt | Le | Gt | Ge -> Rclass.Int
+  | Feq | Fne | Flt | Fle -> Rclass.Float
+
+let operand_locs (o : Operand.t) : Loc.t list =
+  match o with
+  | Operand.Loc l -> [ l ]
+  | Operand.Int _ | Operand.Float _ -> []
+
+let uses t : Loc.t list =
+  match t.desc with
+  | Move { src; _ } -> operand_locs src
+  | Bin { a; b; _ } | Cmp { a; b; _ } -> operand_locs a @ operand_locs b
+  | Un { src; _ } -> operand_locs src
+  | Load { base; _ } -> operand_locs base
+  | Store { src; base; _ } -> operand_locs src @ operand_locs base
+  | Spill_load _ -> []
+  | Spill_store { src; _ } -> [ src ]
+  | Call { args; _ } -> List.map Loc.reg args
+  | Nop -> []
+
+let defs t : Loc.t list =
+  match t.desc with
+  | Move { dst; _ }
+  | Bin { dst; _ }
+  | Un { dst; _ }
+  | Cmp { dst; _ }
+  | Load { dst; _ }
+  | Spill_load { dst; _ } ->
+    [ dst ]
+  | Store _ | Spill_store _ | Nop -> []
+  | Call { clobbers; _ } -> List.map Loc.reg clobbers
+
+let map_operand f (o : Operand.t) : Operand.t =
+  match o with
+  | Operand.Loc l -> Operand.Loc (f l)
+  | Operand.Int _ | Operand.Float _ -> o
+
+let rewrite ~use ~def t =
+  let desc =
+    match t.desc with
+    | Move { dst; src } -> Move { dst = def dst; src = map_operand use src }
+    | Bin { op; dst; a; b } ->
+      Bin { op; dst = def dst; a = map_operand use a; b = map_operand use b }
+    | Un { op; dst; src } ->
+      Un { op; dst = def dst; src = map_operand use src }
+    | Cmp { op; dst; a; b } ->
+      Cmp { op; dst = def dst; a = map_operand use a; b = map_operand use b }
+    | Load { dst; base; off } ->
+      Load { dst = def dst; base = map_operand use base; off }
+    | Store { src; base; off } ->
+      Store { src = map_operand use src; base = map_operand use base; off }
+    | Spill_load { dst; slot } -> Spill_load { dst = def dst; slot }
+    | Spill_store { src; slot } -> Spill_store { src = use src; slot }
+    | Call _ | Nop -> t.desc
+  in
+  { t with desc }
+
+let is_move t =
+  match t.desc with
+  | Move { dst; src = Operand.Loc src } -> Some (dst, src)
+  | Move _ | Bin _ | Un _ | Cmp _ | Load _ | Store _ | Spill_load _
+  | Spill_store _ | Call _ | Nop ->
+    None
+
+let binop_to_string = function
+  | Add -> "add"
+  | Sub -> "sub"
+  | Mul -> "mul"
+  | Div -> "div"
+  | Rem -> "rem"
+  | And -> "and"
+  | Or -> "or"
+  | Xor -> "xor"
+  | Sll -> "sll"
+  | Srl -> "srl"
+  | Sra -> "sra"
+  | Fadd -> "fadd"
+  | Fsub -> "fsub"
+  | Fmul -> "fmul"
+  | Fdiv -> "fdiv"
+
+let unop_to_string = function
+  | Neg -> "neg"
+  | Not -> "not"
+  | Fneg -> "fneg"
+  | Itof -> "itof"
+  | Ftoi -> "ftoi"
+
+let cmp_to_string = function
+  | Eq -> "eq"
+  | Ne -> "ne"
+  | Lt -> "lt"
+  | Le -> "le"
+  | Gt -> "gt"
+  | Ge -> "ge"
+  | Feq -> "feq"
+  | Fne -> "fne"
+  | Flt -> "flt"
+  | Fle -> "fle"
+
+let tag_to_string = function
+  | Original -> ""
+  | Spill { phase; kind } ->
+    let p = match phase with Evict -> "evict" | Resolve -> "resolve" in
+    let k =
+      match kind with
+      | Spill_ld -> "load"
+      | Spill_st -> "store"
+      | Spill_mv -> "move"
+    in
+    Printf.sprintf "  ; spill:%s-%s" p k
+
+let to_string t =
+  let body =
+    match t.desc with
+    | Move { dst; src } ->
+      Printf.sprintf "%s := %s" (Loc.to_string dst) (Operand.to_string src)
+    | Bin { op; dst; a; b } ->
+      Printf.sprintf "%s := %s %s, %s" (Loc.to_string dst)
+        (binop_to_string op) (Operand.to_string a) (Operand.to_string b)
+    | Un { op; dst; src } ->
+      Printf.sprintf "%s := %s %s" (Loc.to_string dst) (unop_to_string op)
+        (Operand.to_string src)
+    | Cmp { op; dst; a; b } ->
+      Printf.sprintf "%s := cmp.%s %s, %s" (Loc.to_string dst)
+        (cmp_to_string op) (Operand.to_string a) (Operand.to_string b)
+    | Load { dst; base; off } ->
+      Printf.sprintf "%s := load %s[%d]" (Loc.to_string dst)
+        (Operand.to_string base) off
+    | Store { src; base; off } ->
+      Printf.sprintf "store %s, %s[%d]" (Operand.to_string src)
+        (Operand.to_string base) off
+    | Spill_load { dst; slot } ->
+      Printf.sprintf "%s := sload slot%d" (Loc.to_string dst) slot
+    | Spill_store { src; slot } ->
+      Printf.sprintf "sstore %s, slot%d" (Loc.to_string src) slot
+    | Call { func; args; rets; _ } ->
+      Printf.sprintf "call %s(%s)%s" func
+        (String.concat ", " (List.map Mreg.to_string args))
+        (match rets with
+        | [] -> ""
+        | rs -> " -> " ^ String.concat ", " (List.map Mreg.to_string rs))
+    | Nop -> "nop"
+  in
+  body ^ tag_to_string t.tag
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)

@@ -1,0 +1,31 @@
+type t = Temp of Temp.t | Reg of Mreg.t
+
+let temp t = Temp t
+let reg r = Reg r
+
+let cls = function
+  | Temp t -> Temp.cls t
+  | Reg r -> Mreg.cls r
+
+let equal a b =
+  match a, b with
+  | Temp x, Temp y -> Temp.equal x y
+  | Reg x, Reg y -> Mreg.equal x y
+  | Temp _, Reg _ | Reg _, Temp _ -> false
+
+let compare a b =
+  match a, b with
+  | Temp x, Temp y -> Temp.compare x y
+  | Reg x, Reg y -> Mreg.compare x y
+  | Temp _, Reg _ -> -1
+  | Reg _, Temp _ -> 1
+
+let is_temp = function Temp _ -> true | Reg _ -> false
+let as_temp = function Temp t -> Some t | Reg _ -> None
+let as_reg = function Reg r -> Some r | Temp _ -> None
+
+let to_string = function
+  | Temp t -> Temp.to_string t
+  | Reg r -> Mreg.to_string r
+
+let pp fmt l = Format.pp_print_string fmt (to_string l)

@@ -1,0 +1,20 @@
+(** Machine registers. A register is identified by its class and its index
+    within that class's register file. Conventions (caller/callee-saved,
+    parameter registers, ...) are described by {!Lsra_target.Machine}. *)
+
+type t
+
+(** [make ~cls idx] names register [idx] of class [cls]. Raises
+    [Invalid_argument] on a negative index. *)
+val make : cls:Rclass.t -> int -> t
+
+val idx : t -> int
+val cls : t -> Rclass.t
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+
+module Set : Set.S with type elt = t
+module Map : Map.S with type key = t

@@ -1,0 +1,28 @@
+type t = Loc of Loc.t | Int of int | Float of float
+
+let temp t = Loc (Loc.Temp t)
+let reg r = Loc (Loc.Reg r)
+let loc l = Loc l
+let int i = Int i
+let float f = Float f
+
+let cls = function
+  | Loc l -> Loc.cls l
+  | Int _ -> Rclass.Int
+  | Float _ -> Rclass.Float
+
+let as_loc = function Loc l -> Some l | Int _ | Float _ -> None
+
+let equal a b =
+  match a, b with
+  | Loc x, Loc y -> Loc.equal x y
+  | Int x, Int y -> x = y
+  | Float x, Float y -> Float.equal x y
+  | (Loc _ | Int _ | Float _), _ -> false
+
+let to_string = function
+  | Loc l -> Loc.to_string l
+  | Int i -> string_of_int i
+  | Float f -> Printf.sprintf "%h" f
+
+let pp fmt o = Format.pp_print_string fmt (to_string o)

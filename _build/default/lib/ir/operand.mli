@@ -1,0 +1,14 @@
+(** Instruction source operands: a readable location or an immediate. *)
+
+type t = Loc of Loc.t | Int of int | Float of float
+
+val temp : Temp.t -> t
+val reg : Mreg.t -> t
+val loc : Loc.t -> t
+val int : int -> t
+val float : float -> t
+val cls : t -> Rclass.t
+val as_loc : t -> Loc.t option
+val equal : t -> t -> bool
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,20 @@
+type t = Int | Float
+
+let equal a b =
+  match a, b with
+  | Int, Int | Float, Float -> true
+  | Int, Float | Float, Int -> false
+
+let compare a b =
+  match a, b with
+  | Int, Int | Float, Float -> 0
+  | Int, Float -> -1
+  | Float, Int -> 1
+
+let to_string = function
+  | Int -> "int"
+  | Float -> "float"
+
+let pp fmt c = Format.pp_print_string fmt (to_string c)
+
+let all = [ Int; Float ]

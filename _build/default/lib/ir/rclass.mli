@@ -1,0 +1,13 @@
+(** Register classes. A machine has a separate register file per class, and
+    values never migrate between classes without an explicit conversion
+    instruction. *)
+
+type t = Int | Float
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+
+(** All classes, in a fixed order. *)
+val all : t list

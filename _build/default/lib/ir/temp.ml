@@ -1,0 +1,38 @@
+type t = { id : int; cls : Rclass.t; name : string option }
+
+let make ?name ~cls id =
+  if id < 0 then invalid_arg "Temp.make: negative id";
+  { id; cls; name }
+
+let id t = t.id
+let cls t = t.cls
+let name t = t.name
+let equal a b = a.id = b.id
+let compare a b = Int.compare a.id b.id
+let hash t = t.id
+
+let to_string t =
+  match t.name with
+  | None -> Printf.sprintf "t%d" t.id
+  | Some n -> Printf.sprintf "%s.%d" n t.id
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)
+
+module Tbl = Hashtbl.Make (struct
+  type nonrec t = t
+
+  let equal = equal
+  let hash = hash
+end)
+
+module Set = Set.Make (struct
+  type nonrec t = t
+
+  let compare = compare
+end)
+
+module Map = Map.Make (struct
+  type nonrec t = t
+
+  let compare = compare
+end)

@@ -1,0 +1,1 @@
+lib/sim/cycles.ml: Block Instr Lsra_ir

@@ -1,0 +1,1 @@
+lib/sim/cycles.mli: Block Instr Lsra_ir

@@ -1,0 +1,1 @@
+lib/sim/interp.ml: Array Block Buffer Cfg Char Cycles Float Func Instr List Loc Lsra_ir Lsra_target Machine Mreg Operand Printf Program Rclass String Temp Value

@@ -1,0 +1,1 @@
+lib/sim/interp.mli: Lsra_ir Lsra_target Machine Program Value

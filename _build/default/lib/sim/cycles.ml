@@ -1,0 +1,20 @@
+open Lsra_ir
+
+let memory = 3
+let multiply = 4
+let divide = 20
+let call_overhead = 5
+let default = 1
+
+let of_instr i =
+  match Instr.desc i with
+  | Instr.Load _ | Instr.Store _ | Instr.Spill_load _ | Instr.Spill_store _
+    ->
+    memory
+  | Instr.Bin { op = Instr.Mul | Instr.Fmul; _ } -> multiply
+  | Instr.Bin { op = Instr.Div | Instr.Rem | Instr.Fdiv; _ } -> divide
+  | Instr.Call _ -> call_overhead
+  | Instr.Bin _ | Instr.Un _ | Instr.Cmp _ | Instr.Move _ | Instr.Nop ->
+    default
+
+let of_terminator (_ : Block.terminator) = default

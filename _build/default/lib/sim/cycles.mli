@@ -1,0 +1,14 @@
+(** The fixed cycle model standing in for the paper's wall-clock runs on a
+    Digital Alpha (Table 1's "run time" column): memory operations cost
+    {!memory} cycles, multiplies {!multiply}, divides {!divide}, calls add
+    {!call_overhead}, and everything else costs one cycle. *)
+
+open Lsra_ir
+
+val memory : int
+val multiply : int
+val divide : int
+val call_overhead : int
+val default : int
+val of_instr : Instr.t -> int
+val of_terminator : Block.terminator -> int

@@ -1,0 +1,46 @@
+(** The IR interpreter, standing in for the paper's HALT instrumentation
+    tool and Alpha hardware: it executes programs (allocated or not),
+    counts dynamic instructions, classifies executed spill code by its
+    provenance tag (Figure 3's categories), and charges the {!Cycles}
+    model.
+
+    Both register files are global; temporaries and spill slots live in
+    per-call frames. Across calls, callee-saved registers are preserved by
+    the runtime and caller-saved registers (except results) are poisoned
+    to {!Value.Undef}, so an allocator that wrongly keeps a value in a
+    caller-saved register across a call produces a trap or a wrong output
+    in differential tests. *)
+
+open Lsra_ir
+open Lsra_target
+
+exception Trap of string
+
+type counts = {
+  mutable total : int;  (** dynamic instructions, terminators included *)
+  mutable cycles : int;
+  mutable calls : int;
+  mutable evict_loads : int;
+  mutable evict_stores : int;
+  mutable evict_moves : int;
+  mutable resolve_loads : int;
+  mutable resolve_stores : int;
+  mutable resolve_moves : int;
+}
+
+val fresh_counts : unit -> counts
+
+(** Executed spill instructions across all six categories. *)
+val spill_total : counts -> int
+
+type outcome = {
+  counts : counts;
+  output : string;  (** everything written through the ext_put* routines *)
+  ret : Value.t;  (** the integer return register at main's return *)
+}
+
+(** [run machine prog ~input] executes [prog] from its main function.
+    [input] feeds [ext_getc]. Returns [Error msg] on a trap (undefined
+    reads, out-of-bounds access, division by zero, fuel exhaustion). *)
+val run :
+  ?fuel:int -> Machine.t -> Program.t -> input:string -> (outcome, string) result

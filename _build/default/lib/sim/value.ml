@@ -1,0 +1,17 @@
+type t = Int of int | Flt of float | Undef
+
+let zero = Int 0
+
+let to_string = function
+  | Int i -> string_of_int i
+  | Flt f -> Printf.sprintf "%g" f
+  | Undef -> "undef"
+
+let equal a b =
+  match a, b with
+  | Int x, Int y -> x = y
+  | Flt x, Flt y -> Float.equal x y
+  | Undef, Undef -> true
+  | (Int _ | Flt _ | Undef), _ -> false
+
+let pp fmt v = Format.pp_print_string fmt (to_string v)

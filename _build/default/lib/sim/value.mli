@@ -1,0 +1,11 @@
+(** Runtime values of the simulator. [Undef] models uninitialised storage
+    and the poisoning of caller-saved registers across calls: reading one
+    into an operation traps, which is how the differential tests catch
+    calling-convention violations in an allocator. *)
+
+type t = Int of int | Flt of float | Undef
+
+val zero : t
+val to_string : t -> string
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/text/ir_text.ml: Array Block Buffer Cfg Func Hashtbl Instr List Loc Lsra_ir Mreg Operand Printf Program Rclass String Temp

@@ -1,0 +1,1 @@
+lib/text/ir_text.mli: Lsra_ir Program

@@ -1,0 +1,16 @@
+(** Textual concrete syntax for whole programs: printing and parsing.
+
+    The format round-trips everything except instruction uids (which are
+    global and regenerated on parse): functions, temp names and classes,
+    block layout order, spill slots, call conventions, and spill
+    provenance tags (carried in `; spill:phase-kind` comments). *)
+
+open Lsra_ir
+
+exception Parse_error of { line : int; msg : string }
+
+val to_string : Program.t -> string
+
+(** Parse a program; validates before returning. Raises {!Parse_error} on
+    syntax errors and {!Cfg.Malformed} on structural ones. *)
+val of_string : string -> Program.t

@@ -1,0 +1,1 @@
+lib/workloads/gen.ml: Array Builder Instr List Loc Lsra_ir Lsra_target Machine Operand Printf Program Random Rclass Temp

@@ -1,0 +1,1 @@
+lib/workloads/pressure.ml: Array Builder Hashtbl Instr List Lsra_ir Printf Program Wutil

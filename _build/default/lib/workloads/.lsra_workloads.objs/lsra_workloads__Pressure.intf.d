@@ -1,0 +1,1 @@
+lib/workloads/pressure.mli: Func Lsra_ir Lsra_target Machine Program

@@ -1,0 +1,1 @@
+lib/workloads/specbench.ml: Array Builder Char Instr List Lsra_ir Printf Program String Wutil

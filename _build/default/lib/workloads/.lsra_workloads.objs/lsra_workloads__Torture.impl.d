@@ -1,0 +1,1 @@
+lib/workloads/torture.ml: Array Builder Instr Lsra_ir Printf Program Wutil

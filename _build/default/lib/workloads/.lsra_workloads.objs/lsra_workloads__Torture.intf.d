@@ -1,0 +1,1 @@
+lib/workloads/torture.mli: Lsra_ir Lsra_target Machine Program

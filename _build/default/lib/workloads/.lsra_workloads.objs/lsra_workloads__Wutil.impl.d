@@ -1,0 +1,1 @@
+lib/workloads/wutil.ml: Builder Instr List Loc Lsra_ir Lsra_target Machine Operand Printf Rclass

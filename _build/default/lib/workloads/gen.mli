@@ -1,0 +1,21 @@
+(** Seeded random structured programs for differential testing of the
+    allocators. Programs are well-defined by construction (everything
+    initialised before use, bounded loops, no division) and fold their
+    final state into the return register, so a single corrupted value
+    changes the observable result. *)
+
+open Lsra_ir
+open Lsra_target
+
+type params = {
+  seed : int;
+  n_funcs : int;
+  n_temps : int;  (** integer temps per function *)
+  n_stmts : int;  (** top-level statements per function *)
+  max_depth : int;  (** nesting depth of ifs and loops *)
+  call_prob : float;
+  float_frac : float;
+}
+
+val default_params : params
+val program : ?params:params -> Machine.t -> Program.t

@@ -1,0 +1,178 @@
+(* A corpus of Minilang programs used as additional end-to-end workloads:
+   real(istic) algorithmic code arriving through the frontend rather than
+   the builder, each with a known expected output. *)
+
+type entry = { mname : string; source : string; minput : string }
+
+let matmul =
+  {|# 8x8 integer matrix multiply, checksummed
+fn idx(r, c) { return r * 8 + c; }
+
+fn main() {
+  var a = alloc(64);
+  var b = alloc(64);
+  var c = alloc(64);
+  var i = 0;
+  while (i < 64) {
+    a[i] = i % 7 + 1;
+    b[i] = i % 5 + 2;
+    i = i + 1;
+  }
+  var r = 0;
+  while (r < 8) {
+    var col = 0;
+    while (col < 8) {
+      var k = 0;
+      var acc = 0;
+      while (k < 8) {
+        acc = acc + a[idx(r, k)] * b[idx(k, col)];
+        k = k + 1;
+      }
+      c[idx(r, col)] = acc;
+      col = col + 1;
+    }
+    r = r + 1;
+  }
+  var h = 0;
+  i = 0;
+  while (i < 64) { h = (h * 31 + c[i]) % 1000003; i = i + 1; }
+  print(h);
+  return h;
+}|}
+
+let quicksort =
+  {|# in-place quicksort over 64 pseudo-random values
+fn qsort(base, lo, hi) {
+  if (lo >= hi) { return 0; }
+  var pivot = base[hi];
+  var s = lo;
+  var j = lo;
+  while (j < hi) {
+    if (base[j] < pivot) {
+      var t = base[j];
+      base[j] = base[s];
+      base[s] = t;
+      s = s + 1;
+    }
+    j = j + 1;
+  }
+  var t2 = base[hi];
+  base[hi] = base[s];
+  base[s] = t2;
+  qsort(base, lo, s - 1);
+  qsort(base, s + 1, hi);
+  return 0;
+}
+
+fn main() {
+  var n = 64;
+  var a = alloc(n);
+  var i = 0;
+  var x = 12345;
+  while (i < n) {
+    x = (x * 1103515245 + 12345) % 2147483647;
+    a[i] = x % 1000;
+    i = i + 1;
+  }
+  qsort(a, 0, n - 1);
+  var bad = 0;
+  i = 1;
+  while (i < n) {
+    if (a[i - 1] > a[i]) { bad = bad + 1; }
+    i = i + 1;
+  }
+  print(bad);
+  print(a[0]);
+  print(a[n - 1]);
+  return bad;
+}|}
+
+let collatz =
+  {|# longest Collatz chain below 200
+fn chain(n) {
+  var len = 1;
+  while (n != 1) {
+    if (n % 2 == 0) { n = n / 2; } else { n = 3 * n + 1; }
+    len = len + 1;
+  }
+  return len;
+}
+
+fn main() {
+  var best = 0;
+  var best_n = 0;
+  var n = 1;
+  while (n < 200) {
+    var l = chain(n);
+    if (l > best) { best = l; best_n = n; }
+    n = n + 1;
+  }
+  print(best_n);
+  print(best);
+  return best_n;
+}|}
+
+let newton =
+  {|# integer square roots via float Newton iteration
+fn isqrt(n) {
+  if (n < 2) { return n; }
+  var x = itof(n);
+  var g = x / 2.0;
+  var i = 0;
+  while (i < 20) {
+    g = (g + x / g) / 2.0;
+    i = i + 1;
+  }
+  var r = ftoi(g);
+  while (r * r > n) { r = r - 1; }
+  while ((r + 1) * (r + 1) <= n) { r = r + 1; }
+  return r;
+}
+
+fn main() {
+  var total = 0;
+  var n = 0;
+  while (n < 500) {
+    total = total + isqrt(n);
+    n = n + 17;
+  }
+  print(total);
+  return total;
+}|}
+
+let wordcount =
+  {|# the paper's favourite: wc over the input
+fn main() {
+  var lines = 0;
+  var words = 0;
+  var chars = 0;
+  var in_word = 0;
+  var c = getc();
+  while (c >= 0) {
+    chars = chars + 1;
+    if (c == 10) { lines = lines + 1; }
+    if (c <= 32) {
+      in_word = 0;
+    } else {
+      if (in_word == 0) { in_word = 1; words = words + 1; }
+    }
+    c = getc();
+  }
+  print(lines);
+  print(words);
+  print(chars);
+  return chars;
+}|}
+
+let all =
+  [
+    { mname = "matmul"; source = matmul; minput = "" };
+    { mname = "quicksort"; source = quicksort; minput = "" };
+    { mname = "collatz"; source = collatz; minput = "" };
+    { mname = "newton"; source = newton; minput = "" };
+    {
+      mname = "wordcount";
+      source = wordcount;
+      minput = "the quick brown\nfox jumps\nover the lazy dog\n";
+    };
+  ]

@@ -1,0 +1,12 @@
+(** Minilang source programs used as additional end-to-end workloads:
+    algorithmic code that reaches the allocators through the frontend
+    instead of the builder. *)
+
+type entry = { mname : string; source : string; minput : string }
+
+val matmul : string
+val quicksort : string
+val collatz : string
+val newton : string
+val wordcount : string
+val all : entry list

@@ -1,0 +1,34 @@
+(** Compile-time workloads for the Table 3 reproduction: modules with a
+    controlled number of register candidates per procedure and a
+    controlled interference density. *)
+
+open Lsra_ir
+open Lsra_target
+
+val proc :
+  ?clique:int ->
+  ?clique_every:int ->
+  Machine.t ->
+  name:string ->
+  candidates:int ->
+  window:int ->
+  Func.t
+
+type shape = {
+  sname : string;
+  procs : int;
+  candidates : int;
+  window : int;
+  clique : int;  (** size of the periodic over-pressure regions *)
+}
+
+(** The paper's three modules: cvrin.c (245 candidates per procedure,
+    sparse), twldrv.f (6218, denser), fpppp.f (6697, densest). *)
+val cvrin : shape
+
+val twldrv : shape
+val fpppp : shape
+val build : Machine.t -> shape -> Program.t
+
+(** One-procedure module for parameter sweeps. *)
+val scaled : candidates:int -> window:int -> Machine.t -> Program.t

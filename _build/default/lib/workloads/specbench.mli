@@ -1,0 +1,20 @@
+(** Synthetic stand-ins for the paper's benchmark suite (SPEC92 programs
+    plus compress, m88ksim, sort and wc), matched to each program's
+    register-pressure, loop and call profile rather than its source code.
+    These drive the Table 1 / Table 2 / Figure 3 reproductions. *)
+
+open Lsra_ir
+open Lsra_target
+
+type case = {
+  name : string;
+  description : string;
+  program : Program.t;
+  input : string;  (** fed to [ext_getc] *)
+}
+
+(** The eleven benchmarks, in the paper's Table 1 order. [scale]
+    multiplies loop trip counts (1 for tests, larger for benches). *)
+val all : Machine.t -> scale:int -> case list
+
+val find : Machine.t -> scale:int -> string -> case option

@@ -1,0 +1,10 @@
+(** Stress workloads aimed at specific allocator machinery: register
+    rotation across back edges (parallel-move cycles in resolution), long
+    lifetime holes under pressure, and call-dense regions. *)
+
+open Lsra_ir
+open Lsra_target
+
+val rotation : Machine.t -> n:int -> iters:int -> Program.t
+val holes : Machine.t -> n:int -> iters:int -> Program.t
+val call_storm : Machine.t -> n:int -> iters:int -> Program.t

@@ -1,0 +1,1 @@
+test/helpers.ml: Alcotest Builder Func Instr List Loc Lsra Lsra_ir Lsra_sim Lsra_target Machine Operand Printf Program Rclass String Temp

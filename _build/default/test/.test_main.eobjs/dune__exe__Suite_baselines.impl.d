@@ -1,0 +1,1 @@
+test/suite_baselines.ml: Alcotest Builder Helpers Instr List Loc Lsra Lsra_ir Lsra_sim Lsra_target Machine Printf Rclass String

@@ -1,0 +1,1 @@
+test/suite_coloring.ml: Alcotest Builder Helpers Instr Loc Lsra Lsra_ir Lsra_sim Lsra_target Machine Rclass

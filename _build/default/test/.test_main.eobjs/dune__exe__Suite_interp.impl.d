@@ -1,0 +1,1 @@
+test/suite_interp.ml: Alcotest Builder Instr List Loc Lsra_ir Lsra_sim Lsra_target Machine Operand Program Rclass String

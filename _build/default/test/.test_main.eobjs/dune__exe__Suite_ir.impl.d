@@ -1,0 +1,1 @@
+test/suite_ir.ml: Alcotest Array Block Builder Cfg Func Hashtbl Instr List Loc Lsra Lsra_ir Lsra_target Machine Mreg Operand Option Program Rclass Temp

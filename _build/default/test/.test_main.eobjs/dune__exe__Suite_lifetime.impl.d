@@ -1,0 +1,1 @@
+test/suite_lifetime.ml: Alcotest Array Builder Func Instr List Liveness Loc Loop Lsra Lsra_analysis Lsra_ir Lsra_target Lsra_workloads Machine Mreg Operand Program QCheck QCheck_alcotest Rclass

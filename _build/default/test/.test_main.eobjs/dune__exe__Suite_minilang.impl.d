@@ -1,0 +1,1 @@
+test/suite_minilang.ml: Alcotest List Lsra Lsra_frontend Lsra_ir Lsra_sim Lsra_target Lsra_workloads Machine Printf Program String

@@ -1,0 +1,1 @@
+test/suite_motion.ml: Alcotest Array Block Builder Cfg Func Helpers Instr List Loc Lsra Lsra_ir Lsra_sim Lsra_target Lsra_workloads Machine Operand Program Rclass

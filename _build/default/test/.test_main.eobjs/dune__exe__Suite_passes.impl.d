@@ -1,0 +1,1 @@
+test/suite_passes.ml: Alcotest Array Block Builder Cfg Func Helpers List Loc Lsra Lsra_ir Lsra_sim Lsra_target Machine Mreg Operand Program Rclass

@@ -1,0 +1,1 @@
+test/suite_props.ml: Char Func List Lsra Lsra_analysis Lsra_ir Lsra_sim Lsra_target Lsra_workloads Machine Printf Program QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/suite_resolution.ml: Alcotest Array Block Builder Cfg Func Helpers Instr List Loc Lsra Lsra_ir Lsra_target Machine Operand Printf Program Rclass Suite_binpack

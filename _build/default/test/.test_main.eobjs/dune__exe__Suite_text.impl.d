@@ -1,0 +1,1 @@
+test/suite_text.ml: Alcotest List Lsra Lsra_ir Lsra_sim Lsra_target Lsra_text Lsra_workloads Machine Program String

@@ -1,0 +1,1 @@
+test/suite_verify.ml: Alcotest Array Block Builder Cfg Func Helpers Instr List Loc Lsra Lsra_ir Lsra_target Lsra_workloads Machine Mreg Operand Program Rclass String Temp

@@ -1,0 +1,1 @@
+test/suite_workloads.ml: Alcotest Func List Lsra Lsra_ir Lsra_sim Lsra_target Lsra_workloads Machine Printf Program String

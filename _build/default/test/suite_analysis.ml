@@ -1,0 +1,360 @@
+open Lsra_ir
+open Lsra_analysis
+open Lsra_target
+module B = Builder
+
+(* Unit and property tests for the analysis substrate. *)
+
+(* ---------------- bitsets ---------------- *)
+
+let test_bitset_basics () =
+  let s = Bitset.create 100 in
+  Alcotest.(check bool) "fresh empty" true (Bitset.is_empty s);
+  Bitset.add s 0;
+  Bitset.add s 63;
+  Bitset.add s 64;
+  Bitset.add s 99;
+  Alcotest.(check bool) "mem across word boundary" true
+    (Bitset.mem s 63 && Bitset.mem s 64);
+  Alcotest.(check int) "cardinal" 4 (Bitset.cardinal s);
+  Alcotest.(check (list int)) "elements sorted" [ 0; 63; 64; 99 ]
+    (Bitset.elements s);
+  Bitset.remove s 63;
+  Alcotest.(check bool) "removed" false (Bitset.mem s 63);
+  Alcotest.(check bool) "out of range add" true
+    (match Bitset.add s 100 with
+    | exception Invalid_argument _ -> true
+    | _ -> false);
+  let c = Bitset.copy s in
+  Bitset.clear s;
+  Alcotest.(check bool) "clear empties" true (Bitset.is_empty s);
+  Alcotest.(check int) "copy unaffected" 3 (Bitset.cardinal c)
+
+let test_bitset_setops () =
+  let a = Bitset.of_list 70 [ 1; 5; 64 ] in
+  let b = Bitset.of_list 70 [ 5; 6 ] in
+  let u = Bitset.copy a in
+  let changed = Bitset.union_into ~dst:u ~src:b in
+  Alcotest.(check bool) "union changed" true changed;
+  Alcotest.(check (list int)) "union" [ 1; 5; 6; 64 ] (Bitset.elements u);
+  Alcotest.(check bool) "union again unchanged" false
+    (Bitset.union_into ~dst:u ~src:b);
+  let i = Bitset.copy a in
+  ignore (Bitset.inter_into ~dst:i ~src:b);
+  Alcotest.(check (list int)) "intersection" [ 5 ] (Bitset.elements i);
+  let d = Bitset.copy a in
+  ignore (Bitset.diff_into ~dst:d ~src:b);
+  Alcotest.(check (list int)) "difference" [ 1; 64 ] (Bitset.elements d);
+  Alcotest.(check bool) "width mismatch" true
+    (match Bitset.union_into ~dst:a ~src:(Bitset.create 71) with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let bitset_props =
+  let gen_elems = QCheck.(list_of_size (Gen.int_range 0 40) (int_range 0 199)) in
+  [
+    QCheck.Test.make ~name:"bitset of_list/elements = sort_uniq" gen_elems
+      (fun l ->
+        Bitset.elements (Bitset.of_list 200 l) = List.sort_uniq compare l);
+    QCheck.Test.make ~name:"bitset union is commutative"
+      (QCheck.pair gen_elems gen_elems) (fun (la, lb) ->
+        let u1 = Bitset.of_list 200 la in
+        ignore (Bitset.union_into ~dst:u1 ~src:(Bitset.of_list 200 lb));
+        let u2 = Bitset.of_list 200 lb in
+        ignore (Bitset.union_into ~dst:u2 ~src:(Bitset.of_list 200 la));
+        Bitset.equal u1 u2);
+    QCheck.Test.make ~name:"bitset diff then union restores superset"
+      (QCheck.pair gen_elems gen_elems) (fun (la, lb) ->
+        let a = Bitset.of_list 200 la in
+        let d = Bitset.copy a in
+        ignore (Bitset.diff_into ~dst:d ~src:(Bitset.of_list 200 lb));
+        ignore (Bitset.union_into ~dst:d ~src:(Bitset.of_list 200 lb));
+        List.for_all (Bitset.mem d) la);
+  ]
+
+(* ---------------- liveness ---------------- *)
+
+(* entry -> loop(head, body) -> exit with a loop-carried temp *)
+let loop_func () =
+  let b = B.create ~name:"f" in
+  let x = B.temp b Rclass.Int ~name:"x" in
+  let i = B.temp b Rclass.Int ~name:"i" in
+  let dead = B.temp b Rclass.Int ~name:"dead" in
+  B.start_block b "entry";
+  B.li b x 0;
+  B.li b i 0;
+  B.li b dead 42;
+  B.start_block b "head";
+  B.branch b Instr.Lt (Operand.temp i) (Operand.int 10) ~ifso:"body"
+    ~ifnot:"exit";
+  B.start_block b "body";
+  B.bin b Instr.Add x (Operand.temp x) (Operand.temp i);
+  B.bin b Instr.Add i (Operand.temp i) (Operand.int 1);
+  B.jump b "head";
+  B.start_block b "exit";
+  B.move b (Loc.Reg (Machine.int_ret (Machine.small ()))) (Operand.temp x);
+  B.ret b;
+  (B.finish b, x, i, dead)
+
+let test_liveness_loop () =
+  let f, x, i, dead = loop_func () in
+  let lv = Liveness.compute f in
+  let live_in_head = Liveness.live_in lv "head" in
+  Alcotest.(check bool) "x live into head" true
+    (Bitset.mem live_in_head (Temp.id x));
+  Alcotest.(check bool) "i live into head" true
+    (Bitset.mem live_in_head (Temp.id i));
+  Alcotest.(check bool) "dead def not live" false
+    (Bitset.mem live_in_head (Temp.id dead));
+  Alcotest.(check bool) "x live out of body" true
+    (Bitset.mem (Liveness.live_out lv "body") (Temp.id x));
+  Alcotest.(check bool) "nothing live out of exit" true
+    (Bitset.is_empty (Liveness.live_out lv "exit"));
+  Alcotest.(check bool) "live across blocks includes x" true
+    (Bitset.mem (Liveness.live_across_blocks lv) (Temp.id x))
+
+let test_liveness_diamond_partial () =
+  (* y defined on one arm only: live out of entry? No — but live into the
+     join from the arm that defines it, and into the other arm only if
+     used... here y is used at the join, so it is live through the arm
+     that does not define it. *)
+  let b = B.create ~name:"f" in
+  let y = B.temp b Rclass.Int in
+  let c = B.temp b Rclass.Int in
+  B.start_block b "entry";
+  B.li b c 1;
+  B.li b y 0;
+  B.branch b Instr.Eq (Operand.temp c) (Operand.int 0) ~ifso:"a" ~ifnot:"bb";
+  B.start_block b "a";
+  B.li b y 5;
+  B.jump b "join";
+  B.start_block b "bb";
+  B.nop b;
+  B.jump b "join";
+  B.start_block b "join";
+  B.move b (Loc.Reg (Machine.int_ret (Machine.small ()))) (Operand.temp y);
+  B.ret b;
+  let f = B.finish b in
+  let lv = Liveness.compute f in
+  Alcotest.(check bool) "y live through bb" true
+    (Bitset.mem (Liveness.live_in lv "bb") (Temp.id y));
+  Alcotest.(check bool) "y not live into a (redefined)" false
+    (Bitset.mem (Liveness.live_in lv "a") (Temp.id y))
+
+let test_compressed_liveness_equivalent () =
+  (* the paper's bit-vector compression must be invisible: identical
+     live-in/out sets on well-defined programs *)
+  let machine = Machine.alpha_like in
+  for seed = 0 to 14 do
+    let params =
+      { Lsra_workloads.Gen.default_params with Lsra_workloads.Gen.seed }
+    in
+    let prog = Lsra_workloads.Gen.program ~params machine in
+    List.iter
+      (fun (_, f) ->
+        let a = Liveness.compute ~compress:true f in
+        let b = Liveness.compute ~compress:false f in
+        Cfg.iter_blocks
+          (fun blk ->
+            let l = Block.label blk in
+            if
+              (not (Bitset.equal (Liveness.live_in a l) (Liveness.live_in b l)))
+              || not
+                   (Bitset.equal (Liveness.live_out a l)
+                      (Liveness.live_out b l))
+            then
+              Alcotest.failf "seed %d, block %s: compressed liveness differs"
+                seed l)
+          (Func.cfg f))
+      (Program.funcs prog)
+  done
+
+(* ---------------- dominators and loops ---------------- *)
+
+let test_dominators () =
+  let f, _, _, _ = loop_func () in
+  let cfg = Func.cfg f in
+  let dom = Dom.compute cfg in
+  let i l = Cfg.block_index cfg l in
+  Alcotest.(check bool) "entry dominates everything" true
+    (List.for_all
+       (fun l -> Dom.dominates dom (i "entry") (i l))
+       [ "entry"; "head"; "body"; "exit" ]);
+  Alcotest.(check bool) "head dominates body" true
+    (Dom.dominates dom (i "head") (i "body"));
+  Alcotest.(check bool) "body does not dominate exit" false
+    (Dom.dominates dom (i "body") (i "exit"));
+  Alcotest.(check (option int))
+    "idom of body is head"
+    (Some (i "head"))
+    (Dom.idom dom (i "body"));
+  Alcotest.(check (option int)) "entry has no idom" None
+    (Dom.idom dom (i "entry"))
+
+let test_loop_depth () =
+  let b = B.create ~name:"f" in
+  let i = B.temp b Rclass.Int in
+  let j = B.temp b Rclass.Int in
+  B.start_block b "entry";
+  B.li b i 0;
+  B.start_block b "outer";
+  B.li b j 0;
+  B.start_block b "inner";
+  B.bin b Instr.Add j (Operand.temp j) (Operand.int 1);
+  B.branch b Instr.Lt (Operand.temp j) (Operand.int 3) ~ifso:"inner"
+    ~ifnot:"outer_latch";
+  B.start_block b "outer_latch";
+  B.bin b Instr.Add i (Operand.temp i) (Operand.int 1);
+  B.branch b Instr.Lt (Operand.temp i) (Operand.int 3) ~ifso:"outer"
+    ~ifnot:"exit";
+  B.start_block b "exit";
+  B.ret b;
+  let f = B.finish b in
+  let cfg = Func.cfg f in
+  let loops = Loop.compute cfg in
+  let d l = Loop.depth loops (Cfg.block_index cfg l) in
+  Alcotest.(check int) "entry depth 0" 0 (d "entry");
+  Alcotest.(check int) "outer header depth 1" 1 (d "outer");
+  Alcotest.(check int) "inner depth 2" 2 (d "inner");
+  Alcotest.(check int) "outer latch depth 1" 1 (d "outer_latch");
+  Alcotest.(check int) "exit depth 0" 0 (d "exit");
+  Alcotest.(check int) "max depth" 2 (Loop.max_depth loops);
+  Alcotest.(check int) "two headers" 2 (List.length (Loop.headers loops))
+
+let test_unreachable_blocks () =
+  let mk l t body = Block.make ~label:l ~body ~term:t in
+  let cfg =
+    Cfg.create ~entry:"e"
+      [ mk "e" Block.Ret [||]; mk "island" (Block.Jump "island") [||] ]
+  in
+  let dom = Dom.compute cfg in
+  Alcotest.(check bool) "island unreachable" false
+    (Dom.reachable dom (Cfg.block_index cfg "island"));
+  (* loop analysis must not loop forever on it *)
+  let loops = Loop.compute cfg in
+  Alcotest.(check int) "island depth 0" 0
+    (Loop.depth loops (Cfg.block_index cfg "island"))
+
+(* ---------------- dataflow engine ---------------- *)
+
+let test_dataflow_rounds () =
+  (* straight-line chain: backward union should converge in ~2 rounds *)
+  let mk l t = Block.make ~label:l ~body:[||] ~term:t in
+  let cfg =
+    Cfg.create ~entry:"a"
+      [ mk "a" (Block.Jump "b"); mk "b" (Block.Jump "c"); mk "c" Block.Ret ]
+  in
+  let rounds = ref 0 in
+  let gen b =
+    let s = Bitset.create 4 in
+    if Block.label b = "c" then Bitset.add s 1;
+    s
+  in
+  let kill _ = Bitset.create 4 in
+  let r =
+    Dataflow.solve cfg ~direction:Dataflow.Backward ~meet:Dataflow.Union
+      ~width:4 ~gen ~kill ~rounds ()
+  in
+  Alcotest.(check bool) "bit propagates to a" true
+    (Bitset.mem r.Dataflow.in_of.(0) 1);
+  Alcotest.(check bool) "terminates quickly" true (!rounds <= 3)
+
+let test_dataflow_forward_inter () =
+  (* forward intersection: available-like property killed on one path *)
+  let mk l t = Block.make ~label:l ~body:[||] ~term:t in
+  let cfg =
+    Cfg.create ~entry:"e"
+      [
+        mk "e"
+          (Block.Branch
+             { op = Instr.Eq; a = Operand.int 0; b = Operand.int 0; ifso = "l"; ifnot = "r" });
+        mk "l" (Block.Jump "j");
+        mk "r" (Block.Jump "j");
+        mk "j" Block.Ret;
+      ]
+  in
+  let gen b =
+    let s = Bitset.create 2 in
+    if Block.label b = "l" then Bitset.add s 0;
+    if Block.label b = "e" then Bitset.add s 1;
+    s
+  in
+  let kill _ = Bitset.create 2 in
+  let r =
+    Dataflow.solve cfg ~direction:Dataflow.Forward ~meet:Dataflow.Inter
+      ~width:2 ~gen ~kill ()
+  in
+  let j = Cfg.block_index cfg "j" in
+  Alcotest.(check bool) "bit 0 not available at join (one path only)" false
+    (Bitset.mem r.Dataflow.in_of.(j) 0);
+  Alcotest.(check bool) "bit 1 available at join (both paths)" true
+    (Bitset.mem r.Dataflow.in_of.(j) 1)
+
+(* ---------------- dead code elimination ---------------- *)
+
+let test_dce () =
+  let f, _, _, dead = loop_func () in
+  let n_before = Func.n_instrs f in
+  let removed = Dce.run_to_fixpoint f in
+  Alcotest.(check bool) "removed the dead init" true (removed >= 1);
+  Alcotest.(check int) "instruction count dropped" (n_before - removed)
+    (Func.n_instrs f);
+  (* the dead temp must be gone *)
+  Alcotest.(check bool) "dead temp vanished" true
+    (not (List.exists (fun t -> Temp.equal t dead) (Func.temps f)))
+
+let test_dce_keeps_side_effects () =
+  let b = B.create ~name:"f" in
+  let t = B.temp b Rclass.Int in
+  B.start_block b "entry";
+  B.li b t 7;
+  B.store b (Operand.temp t) (Operand.int 0) 0;
+  let u = B.temp b Rclass.Int in
+  B.li b u 9 (* dead *);
+  B.ret b;
+  let f = B.finish b in
+  let removed = Dce.run_to_fixpoint f in
+  Alcotest.(check int) "only the dead li removed" 1 removed
+
+let test_dce_preserves_behaviour () =
+  (* differential: random programs behave identically after DCE *)
+  let machine = Machine.alpha_like in
+  for seed = 0 to 9 do
+    let params =
+      { Lsra_workloads.Gen.default_params with Lsra_workloads.Gen.seed }
+    in
+    let prog = Lsra_workloads.Gen.program ~params machine in
+    let before = Lsra_sim.Interp.run machine prog ~input:"abc" in
+    let copy = Program.copy prog in
+    List.iter (fun (_, f) -> ignore (Dce.run_to_fixpoint f)) (Program.funcs copy);
+    let after = Lsra_sim.Interp.run machine copy ~input:"abc" in
+    match before, after with
+    | Ok a, Ok b ->
+      Alcotest.(check string)
+        (Printf.sprintf "seed %d output" seed)
+        a.Lsra_sim.Interp.output b.Lsra_sim.Interp.output
+    | Error e, _ | _, Error e -> Alcotest.failf "seed %d trapped: %s" seed e
+  done
+
+let suite =
+  [
+    Alcotest.test_case "bitset basics" `Quick test_bitset_basics;
+    Alcotest.test_case "bitset set operations" `Quick test_bitset_setops;
+    Alcotest.test_case "liveness around a loop" `Quick test_liveness_loop;
+    Alcotest.test_case "liveness through a diamond" `Quick
+      test_liveness_diamond_partial;
+    Alcotest.test_case "compressed liveness is equivalent" `Quick
+      test_compressed_liveness_equivalent;
+    Alcotest.test_case "dominators" `Quick test_dominators;
+    Alcotest.test_case "loop nesting depth" `Quick test_loop_depth;
+    Alcotest.test_case "unreachable blocks" `Quick test_unreachable_blocks;
+    Alcotest.test_case "dataflow: backward union" `Quick test_dataflow_rounds;
+    Alcotest.test_case "dataflow: forward intersection" `Quick
+      test_dataflow_forward_inter;
+    Alcotest.test_case "dce removes dead code" `Quick test_dce;
+    Alcotest.test_case "dce keeps side effects" `Quick
+      test_dce_keeps_side_effects;
+    Alcotest.test_case "dce preserves behaviour" `Quick
+      test_dce_preserves_behaviour;
+  ]
+  @ List.map (QCheck_alcotest.to_alcotest ~long:false) bitset_props

@@ -1,0 +1,134 @@
+open Lsra_ir
+open Lsra_target
+module B = Builder
+open Helpers
+
+(* Tests for the small passes (peephole, stats plumbing) and for the
+   whole pipeline entry point. *)
+
+let test_peephole_self_moves () =
+  let machine = Machine.small () in
+  let r = Machine.int_ret machine in
+  let b = B.create ~name:"f" in
+  B.start_block b "entry";
+  B.move b (Loc.Reg r) (Operand.int 3);
+  B.move b (Loc.Reg r) (Operand.reg r) (* self-move *);
+  B.nop b;
+  B.ret b;
+  let f = B.finish b in
+  let removed = Lsra.Peephole.run f in
+  Alcotest.(check int) "self-move and nop removed" 2 removed;
+  Alcotest.(check int) "one instruction remains" 1
+    (Array.length (Block.body (Cfg.block (Func.cfg f) "entry")))
+
+let test_peephole_keeps_real_moves () =
+  let machine = Machine.small () in
+  let r0 = Machine.int_ret machine in
+  let r1 = Mreg.make ~cls:Rclass.Int 1 in
+  let b = B.create ~name:"f" in
+  B.start_block b "entry";
+  B.move b (Loc.Reg r1) (Operand.int 3);
+  B.move b (Loc.Reg r0) (Operand.reg r1);
+  B.ret b;
+  let f = B.finish b in
+  Alcotest.(check int) "nothing removed" 0 (Lsra.Peephole.run f)
+
+let test_stats_accumulate () =
+  let a = Lsra.Stats.create () in
+  a.Lsra.Stats.evict_loads <- 2;
+  a.Lsra.Stats.resolve_stores <- 3;
+  a.Lsra.Stats.coloring_iterations <- 2;
+  let b = Lsra.Stats.create () in
+  b.Lsra.Stats.evict_loads <- 1;
+  b.Lsra.Stats.coloring_iterations <- 5;
+  Lsra.Stats.add ~into:a b;
+  Alcotest.(check int) "sums counters" 3 a.Lsra.Stats.evict_loads;
+  Alcotest.(check int) "keeps max iterations" 5
+    a.Lsra.Stats.coloring_iterations;
+  Alcotest.(check int) "total spill" 6 (Lsra.Stats.total_spill a)
+
+let test_pipeline_runs_dce () =
+  (* pipeline must remove dead code before allocating *)
+  let machine = Machine.small () in
+  let b = B.create ~name:"main" in
+  let t = B.temp b Rclass.Int in
+  let dead = B.temp b Rclass.Int in
+  B.start_block b "entry";
+  B.li b t 5;
+  B.li b dead 7;
+  B.move b (Loc.Reg (Machine.int_ret machine)) (o_temp t);
+  B.ret b;
+  let f = B.finish b in
+  let prog = prog_of_func f in
+  ignore
+    (Lsra.Allocator.pipeline ~verify:true
+       Lsra.Allocator.default_second_chance machine prog);
+  let f' = Program.find_exn prog "main" in
+  (* the dead li is gone, and move optimisation turns the return move
+     into a removable self-move, so at most the live li (+ possibly one
+     move) remains *)
+  Alcotest.(check bool) "dead li eliminated" true
+    (Array.length (Block.body (Cfg.block (Func.cfg f') "entry")) <= 2)
+
+let test_pipeline_verifies_all_algorithms () =
+  let machine = Machine.small ~int_regs:5 ~float_regs:5 () in
+  let f = pressure_func ~width:7 ~iters:4 in
+  List.iter
+    (fun algo ->
+      let prog = prog_of_func (Func.copy f) in
+      (* must not raise *)
+      ignore (Lsra.Allocator.pipeline ~verify:true algo machine prog))
+    [
+      Lsra.Allocator.default_second_chance;
+      Lsra.Allocator.Graph_coloring;
+      Lsra.Allocator.Two_pass;
+      Lsra.Allocator.Poletto;
+    ]
+
+let test_pipeline_cleanup_verifies () =
+  (* verify + cleanup must compose (cleanup runs after verification; the
+     cleaned program must still execute identically) *)
+  let machine = Machine.small ~int_regs:4 ~float_regs:4 () in
+  let f = pressure_func ~width:8 ~iters:5 in
+  let prog = prog_of_func f in
+  let reference = Lsra_sim.Interp.run machine prog ~input:"" in
+  let copy = Program.copy prog in
+  ignore
+    (Lsra.Allocator.pipeline ~verify:true ~cleanup:true
+       Lsra.Allocator.default_second_chance machine copy);
+  match reference, Lsra_sim.Interp.run machine copy ~input:"" with
+  | Ok a, Ok b ->
+    Alcotest.(check string) "ret"
+      (Lsra_sim.Value.to_string a.Lsra_sim.Interp.ret)
+      (Lsra_sim.Value.to_string b.Lsra_sim.Interp.ret)
+  | Error e, _ | _, Error e -> Alcotest.failf "trapped: %s" e
+
+let test_allocator_names () =
+  Alcotest.(check string) "binpack short name" "binpack"
+    (Lsra.Allocator.short_name Lsra.Allocator.default_second_chance);
+  Alcotest.(check bool) "names are distinct" true
+    (List.length
+       (List.sort_uniq compare
+          (List.map Lsra.Allocator.short_name
+             [
+               Lsra.Allocator.default_second_chance;
+               Lsra.Allocator.Graph_coloring;
+               Lsra.Allocator.Two_pass;
+               Lsra.Allocator.Poletto;
+             ]))
+    = 4)
+
+let suite =
+  [
+    Alcotest.test_case "peephole removes self-moves and nops" `Quick
+      test_peephole_self_moves;
+    Alcotest.test_case "peephole keeps real moves" `Quick
+      test_peephole_keeps_real_moves;
+    Alcotest.test_case "stats accumulate" `Quick test_stats_accumulate;
+    Alcotest.test_case "pipeline runs dce" `Quick test_pipeline_runs_dce;
+    Alcotest.test_case "pipeline verifies all algorithms" `Quick
+      test_pipeline_verifies_all_algorithms;
+    Alcotest.test_case "pipeline cleanup composes with verify" `Quick
+      test_pipeline_cleanup_verifies;
+    Alcotest.test_case "allocator names" `Quick test_allocator_names;
+  ]

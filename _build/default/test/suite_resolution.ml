@@ -1,0 +1,256 @@
+open Lsra_ir
+open Lsra_target
+module B = Builder
+open Helpers
+
+(* Tests aimed at the resolution phase: lifetime splits across edges,
+   register swaps (parallel-move cycles), critical-edge splitting, and
+   the consistency dataflow. *)
+
+let count_tagged f pred =
+  let n = ref 0 in
+  Func.iter_instrs f (fun i -> if pred i then incr n);
+  !n
+
+let is_resolve i =
+  match Instr.tag i with
+  | Instr.Spill { phase = Instr.Resolve; _ } -> true
+  | Instr.Spill { phase = Instr.Evict; _ } | Instr.Original -> false
+
+(* The figure-2 scenario (see examples/figure2.ml), asserted. *)
+let test_figure2_resolution () =
+  let machine =
+    Machine.make ~name:"two-regs" ~int_regs:2 ~float_regs:1
+      ~int_caller_saved:0 ~float_caller_saved:0 ~n_int_args:0 ~n_float_args:0
+  in
+  let b = B.create ~name:"fig2" in
+  let t1 = B.temp b Rclass.Int ~name:"T1" in
+  let u1 = B.temp b Rclass.Int in
+  let u2 = B.temp b Rclass.Int in
+  let u3 = B.temp b Rclass.Int in
+  let use t = B.store b (Operand.temp t) (Operand.int 0) 0 in
+  B.start_block b "B1";
+  B.li b t1 11;
+  use t1;
+  B.branch b Instr.Lt (Operand.int 0) (Operand.int 1) ~ifso:"B2" ~ifnot:"B3";
+  B.start_block b "B2";
+  B.li b u1 1;
+  B.li b u2 2;
+  B.bin b Instr.Add u3 (Operand.temp u1) (Operand.temp u2);
+  use u3;
+  B.jump b "B4";
+  B.start_block b "B3";
+  use t1;
+  B.jump b "B4";
+  B.start_block b "B4";
+  use t1;
+  B.move b (Loc.Reg (Machine.int_ret machine)) (Operand.temp t1);
+  B.ret b;
+  let f = B.finish b in
+  let prog = prog_of_func f in
+  let outcome =
+    check_differential ~name:"figure2" machine prog (second_chance machine)
+  in
+  ignore outcome;
+  (* verify the static shape on a fresh copy *)
+  let f' = Program.find_exn (Program.copy prog) "fig2" in
+  let stats = Lsra.Second_chance.run machine f' in
+  Alcotest.(check int) "one eviction store (i5)" 1
+    stats.Lsra.Stats.evict_stores;
+  Alcotest.(check int) "one second-chance reload (i6)" 1
+    stats.Lsra.Stats.evict_loads;
+  Alcotest.(check int) "one resolution store (i7)" 1
+    stats.Lsra.Stats.resolve_stores;
+  Alcotest.(check int) "one resolution load (i8)" 1
+    stats.Lsra.Stats.resolve_loads;
+  (* the resolution store lands at the top of B3 (single-pred successor) *)
+  let b3 = Cfg.block (Func.cfg f') "B3" in
+  (match Array.to_list (Block.body b3) with
+  | first :: _ ->
+    Alcotest.(check bool) "B3 starts with a resolution store" true
+      (is_resolve first
+      &&
+      match Instr.desc first with
+      | Instr.Spill_store _ -> true
+      | _ -> false)
+  | [] -> Alcotest.fail "B3 empty");
+  (* the resolution load lands at the bottom of B2 (single successor) *)
+  let b2 = Cfg.block (Func.cfg f') "B2" in
+  match List.rev (Array.to_list (Block.body b2)) with
+  | last :: _ ->
+    Alcotest.(check bool) "B2 ends with a resolution load" true
+      (is_resolve last
+      &&
+      match Instr.desc last with
+      | Instr.Spill_load _ -> true
+      | _ -> false)
+  | [] -> Alcotest.fail "B2 empty"
+
+(* Force a register swap across a back edge: two temps whose preferred
+   registers alternate. The parallel-move sequentialisation must not
+   destroy either value (a naive emission order would). *)
+let test_swap_on_back_edge () =
+  let machine =
+    Machine.make ~name:"three-regs" ~int_regs:3 ~float_regs:1
+      ~int_caller_saved:0 ~float_caller_saved:0 ~n_int_args:0 ~n_float_args:0
+  in
+  let b = B.create ~name:"swap" in
+  let x = B.temp b Rclass.Int ~name:"x" in
+  let y = B.temp b Rclass.Int ~name:"y" in
+  let i = B.temp b Rclass.Int ~name:"i" in
+  B.start_block b "entry";
+  B.li b x 1;
+  B.li b y 1000;
+  B.li b i 0;
+  B.start_block b "loop";
+  (* swap x and y through a chain that tends to rotate assignments *)
+  let t = B.temp b Rclass.Int in
+  B.movet b t (Operand.temp x);
+  B.movet b x (Operand.temp y);
+  B.movet b y (Operand.temp t);
+  B.bin b Instr.Add x (Operand.temp x) (Operand.int 1);
+  B.bin b Instr.Add i (Operand.temp i) (Operand.int 1);
+  B.branch b Instr.Lt (Operand.temp i) (Operand.int 5) ~ifso:"loop"
+    ~ifnot:"exit";
+  B.start_block b "exit";
+  let h = B.temp b Rclass.Int in
+  B.bin b Instr.Mul h (Operand.temp x) (Operand.int 10000);
+  B.bin b Instr.Add h (Operand.temp h) (Operand.temp y);
+  B.move b (Loc.Reg (Machine.int_ret machine)) (Operand.temp h);
+  B.ret b;
+  let f = B.finish b in
+  ignore
+    (check_differential ~name:"swap" machine (prog_of_func f)
+       (second_chance machine))
+
+(* A conditional branch whose successor has multiple predecessors forces
+   a critical-edge split; the new block must carry the repair code. *)
+let test_critical_edge_split () =
+  let machine = Machine.small ~int_regs:3 ~float_regs:3 () in
+  let b = B.create ~name:"crit" in
+  let x = B.temp b Rclass.Int in
+  let y = B.temp b Rclass.Int in
+  let z = B.temp b Rclass.Int in
+  B.start_block b "entry";
+  B.li b x 1;
+  B.li b y 2;
+  B.li b z 3;
+  (* both branch arms target blocks with 2 preds: both edges critical *)
+  B.branch b Instr.Lt (Operand.temp x) (Operand.int 5) ~ifso:"m" ~ifnot:"n";
+  B.start_block b "m";
+  B.bin b Instr.Add x (Operand.temp x) (Operand.temp y);
+  B.branch b Instr.Lt (Operand.temp x) (Operand.int 10) ~ifso:"m" ~ifnot:"n";
+  B.start_block b "n";
+  B.bin b Instr.Add x (Operand.temp x) (Operand.temp z);
+  B.move b (Loc.Reg (Machine.int_ret machine)) (Operand.temp x);
+  B.ret b;
+  let f = B.finish b in
+  let prog = prog_of_func f in
+  let n_blocks_before = Cfg.n_blocks (Func.cfg f) in
+  let outcome =
+    check_differential ~name:"critical" machine prog (second_chance machine)
+  in
+  ignore outcome;
+  let f' = Program.find_exn (Program.copy prog) "crit" in
+  ignore (Lsra.Second_chance.run machine f');
+  Alcotest.(check bool) "no fewer blocks after resolution" true
+    (Cfg.n_blocks (Func.cfg f') >= n_blocks_before)
+
+(* The consistency dataflow: a temp whose spill store is suppressed on one
+   path must get an edge store on the path where memory is stale. This is
+   the situation of §2.4's analysis; we check end-to-end correctness on
+   every option combination. *)
+let test_consistency_paths () =
+  let machine = Machine.small ~int_regs:3 ~float_regs:3 () in
+  let b = B.create ~name:"consist" in
+  let t = B.temp b Rclass.Int ~name:"t" in
+  let u1 = B.temp b Rclass.Int in
+  let u2 = B.temp b Rclass.Int in
+  B.start_block b "entry";
+  B.li b t 5;
+  B.branch b Instr.Lt (Operand.temp t) (Operand.int 10) ~ifso:"mod" ~ifnot:"keep";
+  B.start_block b "mod";
+  (* modifies t, then spills it via pressure: store happens here *)
+  B.bin b Instr.Add t (Operand.temp t) (Operand.int 1);
+  B.li b u1 1;
+  B.li b u2 2;
+  B.bin b Instr.Add u1 (Operand.temp u1) (Operand.temp u2);
+  B.store b (Operand.temp u1) (Operand.int 0) 0;
+  B.jump b "join";
+  B.start_block b "keep";
+  (* t unmodified: pressure spills t; the store may be suppressed only if
+     consistency holds on entry *)
+  B.li b u1 3;
+  B.li b u2 4;
+  B.bin b Instr.Add u1 (Operand.temp u1) (Operand.temp u2);
+  B.store b (Operand.temp u1) (Operand.int 1) 0;
+  B.jump b "join";
+  B.start_block b "join";
+  B.move b (Loc.Reg (Machine.int_ret machine)) (Operand.temp t);
+  B.ret b;
+  let f = B.finish b in
+  let prog = prog_of_func f in
+  List.iter
+    (fun opts ->
+      ignore
+        (check_differential ~name:"consistency" machine prog
+           (second_chance ~opts machine)))
+    (Suite_binpack.all_option_combos ())
+
+(* Early second chance: at a convention eviction with a pending store and
+   a free sufficient register, a move must be used instead. *)
+let test_early_second_chance_move () =
+  let machine = Machine.small ~int_regs:6 ~int_caller_saved:3 () in
+  let b = B.create ~name:"esc" in
+  (* fill the callee-saved file with long-lived values defined first *)
+  let long = List.init 3 (fun k -> B.temp b Rclass.Int ~name:(Printf.sprintf "l%d" k)) in
+  let hot = B.temp b Rclass.Int ~name:"hot" in
+  B.start_block b "entry";
+  List.iteri (fun k t -> B.li b t k) long;
+  (* hot is written, then a call arrives: with ESC it should move to a
+     callee-saved register freed by... none; instead verify that whatever
+     happens, disabling ESC never produces FEWER instructions *)
+  B.li b hot 99;
+  B.bin b Instr.Add hot (Operand.temp hot) (Operand.int 1);
+  call_int b machine ~func:"ext_getc" ~args:[] ~ret:None;
+  let h = B.temp b Rclass.Int in
+  B.li b h 0;
+  B.bin b Instr.Add h (Operand.temp h) (Operand.temp hot);
+  List.iter (fun t -> B.bin b Instr.Add h (Operand.temp h) (Operand.temp t)) long;
+  B.move b (Loc.Reg (Machine.int_ret machine)) (Operand.temp h);
+  B.ret b;
+  let f = B.finish b in
+  let prog = prog_of_func f in
+  let run opts =
+    let copy = Program.copy prog in
+    let stats = ref (Lsra.Stats.create ()) in
+    List.iter
+      (fun (_, fn) -> stats := Lsra.Second_chance.run ~opts machine fn)
+      (Program.funcs copy);
+    (copy, !stats)
+  in
+  let _, with_esc =
+    run { Lsra.Binpack.default_options with Lsra.Binpack.early_second_chance = true }
+  in
+  let _, without_esc =
+    run { Lsra.Binpack.default_options with Lsra.Binpack.early_second_chance = false }
+  in
+  Alcotest.(check int) "esc never stores more" 0
+    (max 0
+       (with_esc.Lsra.Stats.evict_stores - without_esc.Lsra.Stats.evict_stores));
+  ignore
+    (check_differential ~name:"esc" machine prog (second_chance machine))
+
+let suite =
+  [
+    Alcotest.test_case "figure 2: split + resolution placement" `Quick
+      test_figure2_resolution;
+    Alcotest.test_case "register swap across a back edge" `Quick
+      test_swap_on_back_edge;
+    Alcotest.test_case "critical edge splitting" `Quick
+      test_critical_edge_split;
+    Alcotest.test_case "consistency across paths (all options)" `Quick
+      test_consistency_paths;
+    Alcotest.test_case "early second chance" `Quick
+      test_early_second_chance_move;
+  ]

@@ -1,0 +1,95 @@
+open Lsra_ir
+open Lsra_target
+
+(* Round-trip and error-handling tests for the textual IR. *)
+
+let roundtrip_case name prog input =
+  let text = Lsra_text.Ir_text.to_string prog in
+  let prog' =
+    try Lsra_text.Ir_text.of_string text
+    with Lsra_text.Ir_text.Parse_error { line; msg } ->
+      Alcotest.failf "%s: parse error at line %d: %s\n%s" name line msg text
+  in
+  let text' = Lsra_text.Ir_text.to_string prog' in
+  Alcotest.(check string) (name ^ ": print∘parse∘print is stable") text text';
+  (* behavioural equivalence *)
+  let machine = Machine.alpha_like in
+  match
+    ( Lsra_sim.Interp.run machine prog ~input,
+      Lsra_sim.Interp.run machine prog' ~input )
+  with
+  | Ok a, Ok b ->
+    Alcotest.(check string)
+      (name ^ ": same output") a.Lsra_sim.Interp.output
+      b.Lsra_sim.Interp.output
+  | Error e, _ | _, Error e -> Alcotest.failf "%s: trapped: %s" name e
+
+let test_roundtrip_workloads () =
+  List.iter
+    (fun (case : Lsra_workloads.Specbench.case) ->
+      roundtrip_case case.Lsra_workloads.Specbench.name
+        case.Lsra_workloads.Specbench.program
+        case.Lsra_workloads.Specbench.input)
+    (Lsra_workloads.Specbench.all Machine.alpha_like ~scale:1)
+
+let test_roundtrip_allocated () =
+  (* allocated programs (registers, spill slots, provenance tags) must
+     round-trip too *)
+  List.iter
+    (fun (case : Lsra_workloads.Specbench.case) ->
+      let prog = Program.copy case.Lsra_workloads.Specbench.program in
+      ignore
+        (Lsra.Allocator.pipeline Lsra.Allocator.default_second_chance
+           Machine.alpha_like prog);
+      roundtrip_case
+        (case.Lsra_workloads.Specbench.name ^ "-allocated")
+        prog case.Lsra_workloads.Specbench.input)
+    (Lsra_workloads.Specbench.all Machine.alpha_like ~scale:1)
+
+let test_parse_error_reporting () =
+  let bad = "program main=f heap=10\nfunc f {\n  block entry:\n    t0 := 3\n" in
+  match Lsra_text.Ir_text.of_string bad with
+  | exception Lsra_text.Ir_text.Parse_error { msg; _ } ->
+    Alcotest.(check bool) "mentions the temp" true
+      (String.length msg > 0)
+  | _ -> Alcotest.fail "expected a parse error (undeclared temp)"
+
+let test_small_handwritten () =
+  let text =
+    {|program main=main heap=128
+func main {
+  temp acc.0 int
+  temp i.1 int
+  block entry:
+    acc.0 := 0
+    i.1 := 0
+    jump loop
+  block loop:
+    acc.0 := add acc.0, i.1
+    i.1 := add i.1, 1
+    br.lt i.1, 5 ? loop : out
+  block out:
+    $r0 := acc.0
+    ret
+}
+|}
+  in
+  let prog = Lsra_text.Ir_text.of_string text in
+  match Lsra_sim.Interp.run Machine.alpha_like prog ~input:"" with
+  | Ok o ->
+    Alcotest.(check string)
+      "sum 0..4" "10"
+      (Lsra_sim.Value.to_string o.Lsra_sim.Interp.ret)
+  | Error e -> Alcotest.failf "trapped: %s" e
+
+let suite =
+  [
+    Alcotest.test_case "round-trip all workloads" `Quick
+      test_roundtrip_workloads;
+    Alcotest.test_case "round-trip allocated programs" `Quick
+      test_roundtrip_allocated;
+    Alcotest.test_case "parse errors are reported" `Quick
+      test_parse_error_reporting;
+    Alcotest.test_case "hand-written program parses and runs" `Quick
+      test_small_handwritten;
+  ]

@@ -1,0 +1,225 @@
+open Lsra_ir
+open Lsra_target
+module B = Builder
+
+(* The verifier must accept correct allocations (covered throughout the
+   rest of the suite) and reject corrupted ones. Each test allocates a
+   function, then injects a specific bug an allocator could plausibly
+   have, and checks the verifier pinpoints it. *)
+
+let machine = Machine.small ~int_regs:4 ~float_regs:4 ()
+
+let make_func () =
+  let b = B.create ~name:"f" in
+  let x = B.temp b Rclass.Int ~name:"x" in
+  let y = B.temp b Rclass.Int ~name:"y" in
+  B.start_block b "entry";
+  B.li b x 1;
+  B.li b y 2;
+  B.branch b Instr.Lt (Operand.temp x) (Operand.int 5) ~ifso:"a" ~ifnot:"bb";
+  B.start_block b "a";
+  B.bin b Instr.Add x (Operand.temp x) (Operand.temp y);
+  B.jump b "join";
+  B.start_block b "bb";
+  B.bin b Instr.Sub x (Operand.temp x) (Operand.temp y);
+  B.jump b "join";
+  B.start_block b "join";
+  B.move b (Loc.Reg (Machine.int_ret machine)) (Operand.temp x);
+  B.ret b;
+  B.finish b
+
+let allocated_pair () =
+  let f = make_func () in
+  let original = Func.copy f in
+  ignore (Lsra.Second_chance.run machine f);
+  (original, f)
+
+let expect_reject name original allocated =
+  match Lsra.Verify.check machine ~original ~allocated with
+  | Ok () -> Alcotest.failf "%s: verifier accepted a corrupted allocation" name
+  | Error _ -> ()
+
+let test_accepts_correct () =
+  let original, allocated = allocated_pair () in
+  match Lsra.Verify.check machine ~original ~allocated with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "rejected: %s (%s)" e.Lsra.Verify.what e.Lsra.Verify.where
+
+let map_instr_in_block f label fn =
+  let b = Cfg.block (Func.cfg f) label in
+  Block.set_body b (Array.map fn (Block.body b))
+
+let test_rejects_wrong_register () =
+  let original, allocated = allocated_pair () in
+  (* rewrite one use to a different register *)
+  let evil = Mreg.make ~cls:Rclass.Int 3 in
+  let changed = ref false in
+  map_instr_in_block allocated "a" (fun i ->
+      match Instr.desc i with
+      | Instr.Bin { op; dst; a; b = _ } when not !changed ->
+        changed := true;
+        Instr.with_desc i
+          (Instr.Bin { op; dst; a; b = Operand.Loc (Loc.Reg evil) })
+      | _ -> i);
+  Alcotest.(check bool) "mutation applied" true !changed;
+  expect_reject "wrong register" original allocated
+
+let test_rejects_leftover_temp () =
+  let original, allocated = allocated_pair () in
+  let t = Temp.make ~cls:Rclass.Int 0 in
+  map_instr_in_block allocated "join" (fun i ->
+      match Instr.desc i with
+      | Instr.Move { dst; _ } ->
+        Instr.with_desc i (Instr.Move { dst; src = Operand.temp t })
+      | _ -> i);
+  expect_reject "leftover temporary" original allocated
+
+let test_rejects_dropped_spill_store () =
+  (* force spills with a tiny machine, then delete the first spill store *)
+  let machine = Machine.small ~int_regs:3 ~float_regs:3 () in
+  let f = Helpers.pressure_func ~width:6 ~iters:4 in
+  let original = Func.copy f in
+  ignore (Lsra.Second_chance.run machine f);
+  let deleted = ref false in
+  Cfg.iter_blocks
+    (fun b ->
+      if not !deleted then
+        let body = Block.body b in
+        let keep =
+          Array.to_list body
+          |> List.filter (fun i ->
+                 match Instr.desc i, !deleted with
+                 | Instr.Spill_store _, false ->
+                   deleted := true;
+                   false
+                 | _ -> true)
+        in
+        if !deleted then Block.set_body b (Array.of_list keep))
+    (Func.cfg f);
+  if !deleted then
+    match Lsra.Verify.check machine ~original ~allocated:f with
+    | Ok () -> Alcotest.fail "verifier accepted a missing spill store"
+    | Error _ -> ()
+  else Alcotest.fail "expected the allocation to contain a spill store"
+
+let test_rejects_swapped_resolution_moves () =
+  (* corrupting a resolution move's source must be caught *)
+  let machine = Machine.small ~int_regs:3 ~float_regs:3 () in
+  let f = Helpers.pressure_func ~width:6 ~iters:4 in
+  let original = Func.copy f in
+  ignore (Lsra.Second_chance.run machine f);
+  let changed = ref false in
+  Cfg.iter_blocks
+    (fun b ->
+      Block.set_body b
+        (Array.map
+           (fun i ->
+             match Instr.tag i, Instr.desc i with
+             | Instr.Spill _, Instr.Spill_load { dst; slot } when not !changed
+               ->
+               changed := true;
+               (* load from the wrong slot *)
+               Instr.with_desc i (Instr.Spill_load { dst; slot = slot + 1 })
+             | _ -> i)
+           (Block.body b)))
+    (Func.cfg f);
+  if !changed then
+    match Lsra.Verify.check machine ~original ~allocated:f with
+    | Ok () -> Alcotest.fail "verifier accepted a wrong-slot reload"
+    | Error _ -> ()
+  else Alcotest.fail "expected a spill load to corrupt"
+
+let test_rejects_clobbered_across_call () =
+  (* hand-build an allocation that keeps a value in a caller-saved
+     register across a call *)
+  let machine = Machine.small ~int_regs:6 ~int_caller_saved:3 () in
+  let b = B.create ~name:"f" in
+  let x = B.temp b Rclass.Int in
+  B.start_block b "entry";
+  B.li b x 1;
+  B.call b ~func:"ext_getc" ~args:[] ~rets:[ Machine.int_ret machine ]
+    ~clobbers:(Machine.all_caller_saved machine);
+  B.move b (Loc.Reg (Machine.int_ret machine)) (Operand.temp x);
+  B.ret b;
+  let f = B.finish b in
+  let original = Func.copy f in
+  (* "allocate" x to caller-saved $r1 by hand *)
+  let r1 = Mreg.make ~cls:Rclass.Int 1 in
+  let map (l : Loc.t) =
+    match l with Loc.Temp _ -> Loc.Reg r1 | Loc.Reg _ -> l
+  in
+  Cfg.iter_blocks
+    (fun blk ->
+      Block.set_body blk
+        (Array.map (Instr.rewrite ~use:map ~def:map) (Block.body blk));
+      Block.rewrite_term blk ~use:map)
+    (Func.cfg f);
+  expect_reject "value in caller-saved across call" original f
+
+let test_error_message_mentions_site () =
+  let original, allocated = allocated_pair () in
+  let t = Temp.make ~cls:Rclass.Int 0 in
+  map_instr_in_block allocated "join" (fun i ->
+      match Instr.desc i with
+      | Instr.Move { dst; _ } ->
+        Instr.with_desc i (Instr.Move { dst; src = Operand.temp t })
+      | _ -> i);
+  match Lsra.Verify.check machine ~original ~allocated with
+  | Ok () -> Alcotest.fail "accepted"
+  | Error e ->
+    Alcotest.(check bool) "where is populated" true
+      (String.length e.Lsra.Verify.where > 0);
+    Alcotest.(check bool) "what is populated" true
+      (String.length e.Lsra.Verify.what > 0)
+
+let test_all_allocators_verify_on_workloads () =
+  (* belt-and-braces: the verifier accepts all four allocators across the
+     whole workload suite on a spill-heavy machine *)
+  let machine =
+    Machine.small ~int_regs:7 ~float_regs:7 ~int_caller_saved:4
+      ~float_caller_saved:4 ()
+  in
+  List.iter
+    (fun (case : Lsra_workloads.Specbench.case) ->
+      List.iter
+        (fun algo ->
+          let copy = Program.copy case.Lsra_workloads.Specbench.program in
+          List.iter
+            (fun (n, f) ->
+              let original = Func.copy f in
+              ignore (Lsra.Allocator.run algo machine f);
+              match Lsra.Verify.check machine ~original ~allocated:f with
+              | Ok () -> ()
+              | Error e ->
+                Alcotest.failf "%s/%s/%s rejected: %s (%s)"
+                  case.Lsra_workloads.Specbench.name
+                  (Lsra.Allocator.short_name algo)
+                  n e.Lsra.Verify.what e.Lsra.Verify.where)
+            (Program.funcs copy))
+        [
+          Lsra.Allocator.default_second_chance;
+          Lsra.Allocator.Graph_coloring;
+          Lsra.Allocator.Two_pass;
+          Lsra.Allocator.Poletto;
+        ])
+    (Lsra_workloads.Specbench.all machine ~scale:1)
+
+let suite =
+  [
+    Alcotest.test_case "accepts a correct allocation" `Quick
+      test_accepts_correct;
+    Alcotest.test_case "rejects a wrong register" `Quick
+      test_rejects_wrong_register;
+    Alcotest.test_case "rejects a leftover temporary" `Quick
+      test_rejects_leftover_temp;
+    Alcotest.test_case "rejects a dropped spill store" `Quick
+      test_rejects_dropped_spill_store;
+    Alcotest.test_case "rejects a wrong-slot reload" `Quick
+      test_rejects_swapped_resolution_moves;
+    Alcotest.test_case "rejects caller-saved abuse across calls" `Quick
+      test_rejects_clobbered_across_call;
+    Alcotest.test_case "error reports name the site" `Quick
+      test_error_message_mentions_site;
+    Alcotest.test_case "all allocators verify on all workloads" `Slow
+      test_all_allocators_verify_on_workloads;
+  ]

@@ -1,0 +1,22 @@
+let () =
+  Alcotest.run "lsra"
+    [
+      ("ir", Suite_ir.suite);
+      ("analysis", Suite_analysis.suite);
+      ("lifetime", Suite_lifetime.suite);
+      ("interp", Suite_interp.suite);
+      ("verify", Suite_verify.suite);
+      ("resolution", Suite_resolution.suite);
+      ("motion", Suite_motion.suite);
+      ("passes", Suite_passes.suite);
+      ("extensions", Suite_extensions.suite);
+      ("torture", Suite_torture.suite);
+      ("minilang", Suite_minilang.suite);
+      ("binpack", Suite_binpack.suite);
+      ("coloring", Suite_coloring.suite);
+      ("coloring-internals", Suite_coloring_internals.suite);
+      ("baselines", Suite_baselines.suite);
+      ("properties", Suite_props.suite);
+      ("workloads", Suite_workloads.suite);
+      ("text", Suite_text.suite);
+    ]
