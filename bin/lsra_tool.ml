@@ -71,6 +71,14 @@ let verify_arg =
     value & flag
     & info [ "verify" ] ~doc:"Check the allocation with the abstract verifier.")
 
+let jobs_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Allocate functions on $(docv) domains in parallel (0 picks a \
+           count for this host). The output is identical to -j 1.")
+
 let load file = Lsra_text.Ir_text.of_string (read_input file)
 
 let handle_errors f =
@@ -95,16 +103,17 @@ let handle_errors f =
     exit 1
 
 let alloc_cmd =
-  let run file machine algo verify =
+  let run file machine algo verify jobs =
     handle_errors (fun () ->
         let prog = load file in
         ignore
-          (Lsra.Allocator.pipeline ~precheck:true ~verify algo machine prog);
+          (Lsra.Allocator.pipeline ~precheck:true ~verify ~jobs algo machine
+             prog);
         print_string (Lsra_text.Ir_text.to_string prog))
   in
   Cmd.v
     (Cmd.info "alloc" ~doc:"Register-allocate a program and print it.")
-    Term.(const run $ file_arg $ machine_arg $ algo_arg $ verify_arg)
+    Term.(const run $ file_arg $ machine_arg $ algo_arg $ verify_arg $ jobs_arg)
 
 let input_arg =
   Arg.(
@@ -139,12 +148,12 @@ let run_cmd =
     Term.(const run $ file_arg $ machine_arg $ input_arg $ fuel_arg)
 
 let stats_cmd =
-  let run file machine algo input =
+  let run file machine algo input jobs =
     handle_errors (fun () ->
         let prog = load file in
         let stats =
-          Lsra.Allocator.pipeline ~precheck:true ~verify:true algo machine
-            prog
+          Lsra.Allocator.pipeline ~precheck:true ~verify:true ~jobs algo
+            machine prog
         in
         Format.printf "static allocation statistics:@.%a@." Lsra.Stats.pp
           stats;
@@ -164,7 +173,7 @@ let stats_cmd =
   Cmd.v
     (Cmd.info "stats"
        ~doc:"Allocate, verify, and report static and dynamic statistics.")
-    Term.(const run $ file_arg $ machine_arg $ algo_arg $ input_arg)
+    Term.(const run $ file_arg $ machine_arg $ algo_arg $ input_arg $ jobs_arg)
 
 let gen_cmd =
   let seed_arg =

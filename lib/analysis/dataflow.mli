@@ -15,11 +15,29 @@ type result = {
   out_of : Bitset.t array;
 }
 
-(** [solve cfg ~direction ~meet ~width ~gen ~kill ()] iterates round-robin
-    to a fixed point. [rounds], when supplied, receives the number of
-    passes taken (the paper's "two or three iterations at most"
-    observation is testable through it). *)
+(** [solve cfg ~direction ~meet ~width ~gen ~kill ()] runs a worklist
+    solver to the fixed point: blocks are visited in (reverse) linear
+    order and revisited only when an input changed, over precomputed
+    integer successor/predecessor tables and a reusable scratch vector.
+    [rounds], when supplied, receives the number of sweeps that processed
+    at least one pending block (the paper's "two or three iterations at
+    most" observation is testable through it). *)
 val solve :
+  Cfg.t ->
+  direction:direction ->
+  meet:meet ->
+  width:int ->
+  gen:(Block.t -> Bitset.t) ->
+  kill:(Block.t -> Bitset.t) ->
+  ?rounds:int ref ->
+  unit ->
+  result
+
+(** The original round-robin solver: every sweep revisits every block
+    until one changes nothing. Same fixed point as {!solve}; kept as the
+    reference implementation the worklist solver is property-tested
+    against (and as a worst-case baseline for the compile-time tables). *)
+val solve_reference :
   Cfg.t ->
   direction:direction ->
   meet:meet ->

@@ -7,8 +7,13 @@ type t = {
   cfg : Cfg.t;
 }
 
-let temp_uses_of_locs locs =
-  List.filter_map (fun l -> Option.map Temp.id (Loc.as_temp l)) locs
+(* Iterate the temp ids among [locs] without materialising an
+   intermediate list: this runs once per instruction operand list, which
+   makes it the allocation hot spot of the whole analysis. *)
+let iter_temp_ids f locs =
+  List.iter
+    (fun l -> match Loc.as_temp l with Some t -> f (Temp.id t) | None -> ())
+    locs
 
 let block_use_def ~width ~remap b =
   let use = Bitset.create width in
@@ -23,10 +28,10 @@ let block_use_def ~width ~remap b =
   in
   Array.iter
     (fun i ->
-      List.iter see_use (temp_uses_of_locs (Instr.uses i));
-      List.iter see_def (temp_uses_of_locs (Instr.defs i)))
+      iter_temp_ids see_use (Instr.uses i);
+      iter_temp_ids see_def (Instr.defs i))
     (Block.body b);
-  List.iter see_use (temp_uses_of_locs (Block.term_uses b));
+  iter_temp_ids see_use (Block.term_uses b);
   (use, def)
 
 (* Temps referenced in more than one block. As the paper notes (§3), temps
@@ -46,10 +51,10 @@ let global_temps func =
       in
       Array.iter
         (fun i ->
-          List.iter see (temp_uses_of_locs (Instr.uses i));
-          List.iter see (temp_uses_of_locs (Instr.defs i)))
+          iter_temp_ids see (Instr.uses i);
+          iter_temp_ids see (Instr.defs i))
         (Block.body b);
-      List.iter see (temp_uses_of_locs (Block.term_uses b)))
+      iter_temp_ids see (Block.term_uses b))
     blocks;
   global
 

@@ -27,16 +27,12 @@ let run algorithm machine func =
   | Poletto -> Poletto.run machine func
   | Graph_coloring -> Coloring.run machine func
 
-let run_program algorithm machine prog =
-  let total = Stats.create () in
-  List.iter
-    (fun (_, f) -> Stats.add ~into:total (run algorithm machine f))
-    (Program.funcs prog);
-  total
+let run_program ?jobs algorithm machine prog =
+  Parallel.fold_stats ?jobs prog (run algorithm machine)
 
 (* The paper's full pipeline: dead-code elimination, allocation, then the
    move-collapsing peephole pass (§3). *)
-let pipeline ?(precheck = false) ?(verify = false) ?(cleanup = false)
+let pipeline ?(precheck = false) ?(verify = false) ?(cleanup = false) ?jobs
     algorithm machine prog =
   if precheck then
     List.iter (fun (_, f) -> Precheck.run machine f) (Program.funcs prog);
@@ -46,7 +42,7 @@ let pipeline ?(precheck = false) ?(verify = false) ?(cleanup = false)
   in
   List.iter (fun (_, f) -> ignore (Lsra_analysis.Dce.run_to_fixpoint f))
     (Program.funcs prog);
-  let stats = run_program algorithm machine prog in
+  let stats = run_program ?jobs algorithm machine prog in
   if verify then
     List.iter
       (fun (n, allocated) ->
@@ -56,5 +52,6 @@ let pipeline ?(precheck = false) ?(verify = false) ?(cleanup = false)
         Verify.run machine ~original ~allocated)
       (Program.funcs prog);
   if cleanup then ignore (Motion.run_program prog);
-  ignore (Peephole.run_program prog);
+  Stats.timed stats Stats.Peephole (fun () ->
+      ignore (Peephole.run_program prog));
   stats

@@ -14,7 +14,12 @@ val default_second_chance : algorithm
 val name : algorithm -> string
 val short_name : algorithm -> string
 val run : algorithm -> Machine.t -> Func.t -> Stats.t
-val run_program : algorithm -> Machine.t -> Program.t -> Stats.t
+
+(** Allocate every function of the program and return the merged stats.
+    [jobs] fans the per-function allocations across that many domains via
+    {!Parallel.fold_stats}; the default ([jobs <= 1]) is sequential, and
+    the allocated program is bit-identical either way. *)
+val run_program : ?jobs:int -> algorithm -> Machine.t -> Program.t -> Stats.t
 
 (** [pipeline algorithm machine prog] mutates [prog] through
     DCE, allocation and the peephole cleanup, exactly the pass order the
@@ -22,11 +27,13 @@ val run_program : algorithm -> Machine.t -> Program.t -> Stats.t
     checked by {!Verify} against its pre-allocation form; with
     [~cleanup:true] the {!Motion} spill cleanup (the paper's §2.4
     alternative) runs before the peephole pass; with [~precheck:true] the
-    input is validated by {!Precheck} first. *)
+    input is validated by {!Precheck} first. [jobs] parallelises the
+    allocation step as in {!run_program}. *)
 val pipeline :
   ?precheck:bool ->
   ?verify:bool ->
   ?cleanup:bool ->
+  ?jobs:int ->
   algorithm ->
   Machine.t ->
   Program.t ->

@@ -49,6 +49,22 @@ let next_start_after (segs : Interval.seg array) pos =
   done;
   if !lo < Array.length segs then segs.(!lo).Interval.s else max_int
 
+(* Both queries in one binary search: [min_int] when [pos] is inside a
+   busy segment, otherwise the end of the availability hole at [pos]
+   ([max_int - 1] when no busy segment follows, matching
+   [next_start_after pos - 1]). *)
+let hole_end_if_free (segs : Interval.seg array) pos =
+  let len = Array.length segs in
+  let lo = ref 0 and hi = ref len in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if segs.(mid).Interval.e < pos then lo := mid + 1 else hi := mid
+  done;
+  if !lo < len then
+    if segs.(!lo).Interval.s <= pos then min_int
+    else segs.(!lo).Interval.s - 1
+  else max_int - 1
+
 type state = {
   res : t;
   machine : Machine.t;
@@ -57,6 +73,19 @@ type state = {
   cursor : int array; (* per temp id: next-reference cursor *)
   occ_temp : int array; (* per flat reg: occupant temp id, or -1 *)
   occ_next_busy : int array; (* per flat reg: next convention event *)
+  occ_stop : int array;
+  (* per flat reg: occupant's lifetime stop (max_int when the occupant's
+     interval is empty), so the per-instruction death sweeps compare ints
+     instead of chasing the interval *)
+  mutable sweep_at : int;
+  (* lower bound on the earliest occupied register's next convention
+     event: [convention_sweep] is a no-op strictly before it *)
+  mutable dead_at : int;
+  (* lower bound on the earliest occupant death: [release_dead] is a
+     no-op strictly before it *)
+  he_scratch : int array;
+  (* per flat reg, valid only within one [assign_reg] call: hole end at
+     the current position, [min_int] for ineligible registers *)
   mutable emit_rev : Instr.t list; (* current block, reversed *)
   mutable cur_w : Bitset.t; (* WROTE_TR of the current block *)
   mutable cur_u : Bitset.t; (* USED_CONSISTENCY of the current block *)
@@ -85,13 +114,17 @@ let next_ref st id ~pos =
 
 (* Eviction-priority benefit of keeping temp [id] in its register: next
    reference's loop-depth weight over its distance (paper §2.3). Lower is
-   evicted first. *)
+   evicted first. Loop depths are tiny, so the power is a table lookup. *)
+let pow10 = Array.init 32 (fun d -> 10.0 ** float_of_int d)
+
 let benefit st id ~pos =
   match next_ref st id ~pos with
   | None -> -1.0
   | Some r ->
     let dist = float_of_int (r.Interval.rpos - pos + 1) in
-    (10.0 ** float_of_int r.Interval.rdepth) /. dist
+    let d = r.Interval.rdepth in
+    let w = if d < 32 then pow10.(d) else 10.0 ** float_of_int d in
+    w /. dist
 
 let reg_of_flat st ri = Regidx.to_reg st.res.regidx ri
 let flat_of_reg st r = Regidx.of_reg st.res.regidx r
@@ -100,6 +133,13 @@ let set_occupant st ri id ~pos =
   st.occ_temp.(ri) <- id;
   st.occ_next_busy.(ri) <-
     next_start_after (Lifetime.reg_busy st.res.lifetimes ri) pos;
+  (let itv = interval st id in
+   st.occ_stop.(ri) <-
+     (if Interval.is_empty itv then max_int else Interval.stop itv));
+  (* Occupant removal leaves the bounds stale-low, which is safe: the
+     sweep runs once for nothing and tightens them. *)
+  if st.occ_next_busy.(ri) < st.sweep_at then st.sweep_at <- st.occ_next_busy.(ri);
+  if st.occ_stop.(ri) < st.dead_at then st.dead_at <- st.occ_stop.(ri);
   st.loc.(id) <- Some (In_reg (reg_of_flat st ri))
 
 let clear_occupant st ri =
@@ -177,92 +217,112 @@ let pick_by_hole st ~pos ~stop candidates =
               (fun (bri, be) (ri, e) -> if e > be then (ri, e) else (bri, be))
               hd tl)))
 
-(* Allocate a register for temp [id] at [pos]. May evict. *)
+(* Allocate a register for temp [id] at [pos]. May evict.
+
+   The decision tree is the paper's (§2.2, §2.3, §2.5, see the comments
+   inline), expressed as plain loops over the class's contiguous flat
+   range with hole ends cached in [st.he_scratch] — this runs on every
+   def and reload, so it must not allocate. Tie-breaking everywhere is
+   first-in-register-order, matching the list-based original. *)
 let assign_reg st id ~pos ~forbidden =
   let itv = interval st id in
   let cls = Temp.cls (temp_of st id) in
   let stop = if Interval.is_empty itv then pos else Interval.stop itv in
-  let all = Regidx.of_cls st.res.regidx cls in
-  let elig = List.filter (eligible st ~forbidden ~cls ~pos) all in
-  let free = List.filter (fun ri -> st.occ_temp.(ri) < 0) elig in
-  let sufficient_free = List.filter (fun ri -> hole_end st ri pos >= stop) free in
-  let choice =
-    match pick_by_hole st ~pos ~stop sufficient_free with
-    | Some ri -> Some ri
-    | None -> (
-      (* Registers whose occupant sits in a lifetime hole can be taken
-         without spill cost (paper §2.1). *)
-      let holed =
-        List.filter
-          (fun ri ->
-            st.occ_temp.(ri) >= 0
-            && (not (Interval.covers (interval st st.occ_temp.(ri)) pos))
-            && hole_end st ri pos >= stop)
-          elig
-      in
-      match pick_by_hole st ~pos ~stop holed with
-      | Some ri ->
-        evict st ri ~pos;
-        Some ri
-      | None -> (
-        (* No register can host the whole remaining lifetime for free.
-           Either take the largest insufficient hole (paper §2.5; the
-           temporary will be evicted when the hole expires) or displace a
-           lower-priority occupant from a register whose availability does
-           cover the lifetime — whichever keeps the more valuable set of
-           values in registers, by the next-reference/loop-depth priority
-           of §2.3. *)
-        let incoming = benefit st id ~pos in
-        let victim =
-          let evictable =
-            List.filter
-              (fun ri ->
-                st.occ_temp.(ri) >= 0 && hole_end st ri pos >= stop)
-              elig
-          in
-          match evictable with
-          | [] -> None
-          | hd :: tl ->
-            let score ri = benefit st st.occ_temp.(ri) ~pos in
-            Some
-              (List.fold_left
-                 (fun (bri, bs) ri ->
-                   let s = score ri in
-                   if s < bs then (ri, s) else (bri, bs))
-                 (hd, score hd) tl)
-        in
-        match victim, pick_by_hole st ~pos ~stop free with
-        | Some (ri, vb), _ when vb < incoming ->
-          evict st ri ~pos;
-          Some ri
-        | _, Some ri -> Some ri
-        | Some (ri, _), None ->
-          evict st ri ~pos;
-          Some ri
-        | None, None -> (
-          (* Only insufficient-hole occupants remain: classic eviction of
-             the lowest-priority one. *)
-          let occupied = List.filter (fun ri -> st.occ_temp.(ri) >= 0) elig in
-          match occupied with
-          | [] -> None
-          | hd :: tl ->
-            let score ri = benefit st st.occ_temp.(ri) ~pos in
-            let best =
-              List.fold_left
-                (fun (bri, bs) ri ->
-                  let s = score ri in
-                  if s < bs then (ri, s) else (bri, bs))
-                (hd, score hd) tl
-            in
-            let ri = fst best in
-            evict st ri ~pos;
-            Some ri)))
-  in
-  match choice with
-  | Some ri ->
-    set_occupant st ri id ~pos;
-    ri
-  | None ->
+  let lo, hi = Regidx.cls_range st.res.regidx cls in
+  let he = st.he_scratch in
+  for ri = lo to hi - 1 do
+    he.(ri) <-
+      (if List.mem ri forbidden then min_int
+       else hole_end_if_free (Lifetime.reg_busy st.res.lifetimes ri) pos)
+  done;
+  (* 1. Free register whose hole covers the remaining lifetime: smallest
+     sufficient hole (§2.2). *)
+  let best = ref (-1) and best_he = ref max_int in
+  for ri = lo to hi - 1 do
+    if
+      he.(ri) >= stop
+      && st.occ_temp.(ri) < 0
+      && (!best < 0 || he.(ri) < !best_he)
+    then begin
+      best := ri;
+      best_he := he.(ri)
+    end
+  done;
+  if !best < 0 then begin
+    (* 2. Registers whose occupant sits in a lifetime hole can be taken
+       without spill cost (paper §2.1); smallest sufficient hole. *)
+    for ri = lo to hi - 1 do
+      if
+        he.(ri) >= stop
+        && st.occ_temp.(ri) >= 0
+        && (!best < 0 || he.(ri) < !best_he)
+        && not (Interval.covers (interval st st.occ_temp.(ri)) pos)
+      then begin
+        best := ri;
+        best_he := he.(ri)
+      end
+    done;
+    if !best >= 0 then evict st !best ~pos
+  end;
+  if !best < 0 then begin
+    (* 3. No register can host the whole remaining lifetime for free.
+       Either take the largest insufficient hole (paper §2.5; the
+       temporary will be evicted when the hole expires) or displace a
+       lower-priority occupant from a register whose availability does
+       cover the lifetime — whichever keeps the more valuable set of
+       values in registers, by the next-reference/loop-depth priority
+       of §2.3. *)
+    let incoming = benefit st id ~pos in
+    let victim = ref (-1) and victim_b = ref infinity in
+    for ri = lo to hi - 1 do
+      if he.(ri) >= stop && st.occ_temp.(ri) >= 0 then begin
+        let s = benefit st st.occ_temp.(ri) ~pos in
+        if !victim < 0 || s < !victim_b then begin
+          victim := ri;
+          victim_b := s
+        end
+      end
+    done;
+    let free = ref (-1) and free_he = ref min_int in
+    for ri = lo to hi - 1 do
+      if
+        he.(ri) > min_int
+        && st.occ_temp.(ri) < 0
+        && (!free < 0 || he.(ri) > !free_he)
+      then begin
+        free := ri;
+        free_he := he.(ri)
+      end
+    done;
+    if !victim >= 0 && (!victim_b < incoming || !free < 0) then begin
+      evict st !victim ~pos;
+      best := !victim
+    end
+    else if !free >= 0 then best := !free
+    else begin
+      (* Only insufficient-hole occupants remain: classic eviction of
+         the lowest-priority one. *)
+      let worst = ref (-1) and worst_b = ref infinity in
+      for ri = lo to hi - 1 do
+        if he.(ri) > min_int && st.occ_temp.(ri) >= 0 then begin
+          let s = benefit st st.occ_temp.(ri) ~pos in
+          if !worst < 0 || s < !worst_b then begin
+            worst := ri;
+            worst_b := s
+          end
+        end
+      done;
+      if !worst >= 0 then begin
+        evict st !worst ~pos;
+        best := !worst
+      end
+    end
+  end;
+  if !best >= 0 then begin
+    set_occupant st !best id ~pos;
+    !best
+  end
+  else
     raise
       (Out_of_registers
          (Printf.sprintf "no %s register available at position %d for %s"
@@ -276,6 +336,7 @@ let assign_reg st id ~pos ~forbidden =
    lifetime. *)
 let convention_sweep st ~k =
   let horizon = Linear.def_pos k in
+  if st.sweep_at <= horizon then begin
   let pos = Linear.use_pos k in
   let n = Regidx.total st.res.regidx in
   for ri = 0 to n - 1 do
@@ -285,12 +346,7 @@ let convention_sweep st ~k =
          the occupant dies at this instruction's use, the value is read in
          place and the register is reclaimed by [release_dead]; no
          eviction traffic is needed. *)
-      let dies_here =
-        st.occ_next_busy.(ri) >= pos
-        &&
-        let itv = interval st id in
-        (not (Interval.is_empty itv)) && Interval.stop itv <= pos
-      in
+      let dies_here = st.occ_next_busy.(ri) >= pos && st.occ_stop.(ri) <= pos in
       if not dies_here then begin
       let moved =
         st.res.opts.early_second_chance
@@ -328,7 +384,15 @@ let convention_sweep st ~k =
       if not moved then evict st ri ~pos
       end
     end
-  done
+  done;
+  (* Tighten the event bound to the surviving occupants' true minimum. *)
+  let m = ref max_int in
+  for ri = 0 to n - 1 do
+    if st.occ_temp.(ri) >= 0 && st.occ_next_busy.(ri) < !m then
+      m := st.occ_next_busy.(ri)
+  done;
+  st.sweep_at <- !m
+  end
 
 (* Rewrite one use of temp [id] at instruction [k]; returns its register,
    reloading a spilled value first when needed (the second chance,
@@ -389,24 +453,31 @@ let def_temp st id ~k ~forbidden ~move_src =
 
 (* Free registers whose occupant's lifetime segment has ended. *)
 let release_dead st ~pos =
-  let n = Regidx.total st.res.regidx in
-  for ri = 0 to n - 1 do
-    let id = st.occ_temp.(ri) in
-    if id >= 0 then begin
-      let itv = interval st id in
-      if (not (Interval.is_empty itv)) && Interval.stop itv <= pos then begin
-        st.occ_temp.(ri) <- -1;
-        st.loc.(id) <- Some In_mem;
-        st.consistent.(id) <- false
-      end
-    end
-  done
+  if st.dead_at <= pos then begin
+    let n = Regidx.total st.res.regidx in
+    let m = ref max_int in
+    for ri = 0 to n - 1 do
+      let id = st.occ_temp.(ri) in
+      if id >= 0 then
+        if st.occ_stop.(ri) <= pos then begin
+          st.occ_temp.(ri) <- -1;
+          st.loc.(id) <- Some In_mem;
+          st.consistent.(id) <- false
+        end
+        else if st.occ_stop.(ri) < !m then m := st.occ_stop.(ri)
+    done;
+    st.dead_at <- !m
+  end
 
 let scan ?(opts = default_options) machine func =
   let regidx = Regidx.create machine in
-  let liveness = Liveness.compute func in
-  let loops = Loop.compute (Func.cfg func) in
-  let lifetimes = Lifetime.compute regidx func liveness loops in
+  let stats = Stats.create () in
+  let liveness = Stats.timed stats Stats.Liveness (fun () -> Liveness.compute func) in
+  let lifetimes =
+    Stats.timed stats Stats.Lifetime (fun () ->
+        let loops = Loop.compute (Func.cfg func) in
+        Lifetime.compute regidx func liveness loops)
+  in
   let cfg = Func.cfg func in
   let blocks = Cfg.blocks cfg in
   let nb = Array.length blocks in
@@ -423,7 +494,7 @@ let scan ?(opts = default_options) machine func =
       used_consistency = Array.init nb (fun _ -> Bitset.create ntemps);
       wrote_tr = Array.init nb (fun _ -> Bitset.create ntemps);
       slot_of = Array.make ntemps None;
-      stats = Stats.create ();
+      stats;
       opts;
     }
   in
@@ -436,6 +507,10 @@ let scan ?(opts = default_options) machine func =
       cursor = Array.make ntemps 0;
       occ_temp = Array.make (Regidx.total regidx) (-1);
       occ_next_busy = Array.make (Regidx.total regidx) max_int;
+      occ_stop = Array.make (Regidx.total regidx) max_int;
+      sweep_at = max_int;
+      dead_at = max_int;
+      he_scratch = Array.make (Regidx.total regidx) min_int;
       emit_rev = [];
       cur_w = Bitset.create ntemps;
       cur_u = Bitset.create ntemps;
@@ -444,6 +519,7 @@ let scan ?(opts = default_options) machine func =
   let linear = Lifetime.linear lifetimes in
   let preds = Cfg.preds_table cfg in
   let visited = Array.make nb false in
+  let scan_t0 = Unix.gettimeofday () in
   for bi = 0 to nb - 1 do
     let b = blocks.(bi) in
     let label = Block.label b in
@@ -483,6 +559,7 @@ let scan ?(opts = default_options) machine func =
       done);
     let process_instr k (i : Instr.t) =
       convention_sweep st ~k;
+      let us = Instr.uses i in
       let bound = ref [] in
       (* Pre-bind register-resident uses so that allocating a reload for
          one source never evicts another source of the same instruction. *)
@@ -494,38 +571,48 @@ let scan ?(opts = default_options) machine func =
             match st.loc.(Temp.id t) with
             | Some (In_reg r) -> bound := flat_of_reg st r :: !bound
             | Some In_mem | None -> ()))
-        (Instr.uses i);
+        us;
+      (* Resolve every use to its register up front (reloads are emitted
+         here, before the instruction) and remember the mapping: after
+         [release_dead] a dead source's register is no longer recoverable
+         from the linear state, and having the mapping lets the rewrite
+         below happen in a single pass. *)
       let rewritten_src = ref None in
-      let use (l : Loc.t) : Loc.t =
-        match l with
-        | Loc.Reg r ->
-          bound := flat_of_reg st r :: !bound;
-          rewritten_src := Some (flat_of_reg st r);
-          l
-        | Loc.Temp t ->
-          let ri = use_temp st (Temp.id t) ~k ~forbidden:!bound in
-          bound := ri :: !bound;
-          rewritten_src := Some ri;
-          Loc.Reg (reg_of_flat st ri)
-      in
-      let move_src_of i' =
-        match Instr.desc i' with
+      let umap = ref [] in
+      List.iter
+        (fun l ->
+          match l with
+          | Loc.Reg r ->
+            bound := flat_of_reg st r :: !bound;
+            rewritten_src := Some (flat_of_reg st r)
+          | Loc.Temp t ->
+            let ri = use_temp st (Temp.id t) ~k ~forbidden:!bound in
+            bound := ri :: !bound;
+            rewritten_src := Some ri;
+            umap := (Temp.id t, reg_of_flat st ri) :: !umap)
+        us;
+      List.iter
+        (fun l ->
+          match Loc.as_temp l with
+          | Some t -> ignore (next_ref st (Temp.id t) ~pos:(Linear.use_pos k + 1))
+          | None -> ())
+        us;
+      release_dead st ~pos:(Linear.use_pos k);
+      let move_src =
+        match Instr.desc i with
         | Instr.Move { src = Operand.Loc _; _ } -> !rewritten_src
         | Instr.Move _ | Instr.Bin _ | Instr.Un _ | Instr.Cmp _
         | Instr.Load _ | Instr.Store _ | Instr.Spill_load _
         | Instr.Spill_store _ | Instr.Call _ | Instr.Nop ->
           None
       in
-      (* Rewrite uses first (reloads go before the instruction), then let
-         dead sources release their registers, then place defs. *)
-      let i_uses = Instr.rewrite ~use ~def:(fun l -> l) i in
-      List.iter
-        (fun l ->
-          match Loc.as_temp l with
-          | Some t -> ignore (next_ref st (Temp.id t) ~pos:(Linear.use_pos k + 1))
-          | None -> ())
-        (Instr.uses i);
-      release_dead st ~pos:(Linear.use_pos k);
+      (* One rewrite: uses substitute from the precomputed mapping (pure,
+         so operand evaluation order is irrelevant); defs allocate. *)
+      let use (l : Loc.t) : Loc.t =
+        match l with
+        | Loc.Reg _ -> l
+        | Loc.Temp t -> Loc.Reg (List.assoc (Temp.id t) !umap)
+      in
       let def (l : Loc.t) : Loc.t =
         match l with
         | Loc.Reg r ->
@@ -537,14 +624,11 @@ let scan ?(opts = default_options) machine func =
           let forbidden =
             List.filter (fun ri -> st.occ_temp.(ri) >= 0) !bound
           in
-          let ri =
-            def_temp st (Temp.id t) ~k ~forbidden ~move_src:(move_src_of i)
-          in
+          let ri = def_temp st (Temp.id t) ~k ~forbidden ~move_src in
           bound := ri :: !bound;
           Loc.Reg (reg_of_flat st ri)
       in
-      let i' = Instr.rewrite ~use:(fun l -> l) ~def i_uses in
-      emit st i'
+      emit st (Instr.rewrite ~use ~def i)
     in
     Array.iteri
       (fun j i -> process_instr (Linear.first_instr linear bi + j) i)
@@ -597,4 +681,6 @@ let scan ?(opts = default_options) machine func =
     Block.set_body b (Array.of_list (List.rev st.emit_rev));
     visited.(bi) <- true
   done;
+  stats.Stats.time_scan <-
+    stats.Stats.time_scan +. (Unix.gettimeofday () -. scan_t0);
   res

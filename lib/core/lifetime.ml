@@ -8,8 +8,15 @@ type t = {
   block_depth : int array;
 }
 
-let temp_locs locs = List.filter_map Loc.as_temp locs
-let reg_locs locs = List.filter_map Loc.as_reg locs
+(* Operand lists are walked once per instruction in the sweeps below;
+   iterate them directly rather than building throwaway filtered lists. *)
+let iter_temps f locs =
+  List.iter
+    (fun l -> match Loc.as_temp l with Some t -> f t | None -> ())
+    locs
+
+let iter_regs f locs =
+  List.iter (fun l -> match Loc.as_reg l with Some r -> f r | None -> ()) locs
 
 (* One reverse pass over the linear order computes, per temporary, the live
    segments (whose gaps are the lifetime holes) and, per machine register,
@@ -48,8 +55,13 @@ let compute regidx func liveness loops =
   for bi = nb - 1 downto 0 do
     let b = blocks.(bi) in
     let bottom = Linear.block_bottom linear bi in
+    (* Every temp opened in this block, so the block-top close below only
+       touches those instead of scanning all [ntemps] ids per block. *)
+    let opened = ref [] in
     Bitset.iter
-      (fun id -> open_end.(id) <- bottom)
+      (fun id ->
+        open_end.(id) <- bottom;
+        opened := id :: !opened)
       (Liveness.live_out liveness (Block.label b));
     let body = Block.body b in
     let nbody = Array.length body in
@@ -57,30 +69,33 @@ let compute regidx func liveness loops =
     (* Process instruction slot [k] (linear index) given its defs/uses. *)
     let step k (defs : Loc.t list) (uses : Loc.t list) =
       let dp = Linear.def_pos k and up = Linear.use_pos k in
-      List.iter
+      iter_temps
         (fun tp ->
           let id = Temp.id tp in
           temps_of.(id) <- Some tp;
           if open_end.(id) >= 0 then close_temp id dp
           else segs.(id) <- { Interval.s = dp; e = dp } :: segs.(id))
-        (temp_locs defs);
-      List.iter
+        defs;
+      iter_regs
         (fun r ->
           let ri = Regidx.of_reg regidx r in
           if reg_open.(ri) >= 0 then close_reg ri dp
           else reg_segs.(ri) <- { Interval.s = dp; e = dp } :: reg_segs.(ri))
-        (reg_locs defs);
-      List.iter
+        defs;
+      iter_temps
         (fun tp ->
           let id = Temp.id tp in
           temps_of.(id) <- Some tp;
-          if open_end.(id) < 0 then open_end.(id) <- up)
-        (temp_locs uses);
-      List.iter
+          if open_end.(id) < 0 then begin
+            open_end.(id) <- up;
+            opened := id :: !opened
+          end)
+        uses;
+      iter_regs
         (fun r ->
           let ri = Regidx.of_reg regidx r in
           if reg_open.(ri) < 0 then reg_open.(ri) <- up)
-        (reg_locs uses)
+        uses
     in
     step last [] (Block.term_uses b);
     for j = nbody - 1 downto 0 do
@@ -88,9 +103,7 @@ let compute regidx func liveness loops =
       step k (Instr.defs body.(j)) (Instr.uses body.(j))
     done;
     let top = Linear.block_top linear bi in
-    for id = 0 to ntemps - 1 do
-      close_temp id top
-    done;
+    List.iter (fun id -> close_temp id top) !opened;
     (* Registers still open at block top are live-in by convention: the
        entry block's parameter registers. Elsewhere this is conservative
        but harmless. *)
@@ -99,32 +112,39 @@ let compute regidx func liveness loops =
     done
   done;
 
-  (* Reference points, gathered forward. *)
-  let refs : Interval.ref_point list array = Array.make ntemps [] in
-  Array.iteri
-    (fun bi b ->
-      let depth = block_depth.(bi) in
-      let note k kind locs =
-        List.iter
-          (fun tp ->
-            let id = Temp.id tp in
-            let rpos =
-              match kind with
-              | Interval.Read -> Linear.use_pos k
-              | Interval.Write -> Linear.def_pos k
-            in
-            refs.(id) <-
-              { Interval.rpos; rkind = kind; rdepth = depth } :: refs.(id))
-          (temp_locs locs)
+  (* Reference points, gathered forward. Two passes — count, then fill
+     exact-size arrays — so no per-reference list cells are built. *)
+  let n_refs = Array.make ntemps 0 in
+  let each_ref f =
+    Array.iteri
+      (fun bi b ->
+        let depth = block_depth.(bi) in
+        let note k kind locs =
+          iter_temps (fun tp -> f (Temp.id tp) k kind depth) locs
+        in
+        Array.iteri
+          (fun j i ->
+            let k = Linear.first_instr linear bi + j in
+            note k Interval.Read (Instr.uses i);
+            note k Interval.Write (Instr.defs i))
+          (Block.body b);
+        note (Linear.last_instr linear bi) Interval.Read (Block.term_uses b))
+      blocks
+  in
+  each_ref (fun id _ _ _ -> n_refs.(id) <- n_refs.(id) + 1);
+  let dummy = { Interval.rpos = 0; rkind = Interval.Read; rdepth = 0 } in
+  let refs =
+    Array.init ntemps (fun id -> Array.make n_refs.(id) dummy)
+  in
+  let fill = Array.make ntemps 0 in
+  each_ref (fun id k kind depth ->
+      let rpos =
+        match kind with
+        | Interval.Read -> Linear.use_pos k
+        | Interval.Write -> Linear.def_pos k
       in
-      Array.iteri
-        (fun j i ->
-          let k = Linear.first_instr linear bi + j in
-          note k Interval.Read (Instr.uses i);
-          note k Interval.Write (Instr.defs i))
-        (Block.body b);
-      note (Linear.last_instr linear bi) Interval.Read (Block.term_uses b))
-    blocks;
+      refs.(id).(fill.(id)) <- { Interval.rpos; rkind = kind; rdepth = depth };
+      fill.(id) <- fill.(id) + 1);
 
   let merge_segments l =
     (* The reverse sweep prepends, so [l] is already in increasing
@@ -149,7 +169,7 @@ let compute regidx func liveness loops =
         in
         Interval.make ~temp
           ~segs:(Array.of_list (merge_segments segs.(id)))
-          ~refs:(Array.of_list (List.rev refs.(id))))
+          ~refs:refs.(id))
   in
   let reg_busy =
     Array.init nregs (fun ri -> Array.of_list (merge_segments reg_segs.(ri)))

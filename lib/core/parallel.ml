@@ -1,0 +1,38 @@
+open Lsra_ir
+
+(* Per-function passes are independent: nothing in the allocation path
+   shares mutable state across functions (instruction uids come from an
+   atomic counter). Work is handed out through an atomic cursor, one
+   function at a time, so a domain stuck on a large function does not
+   hold back the others. *)
+
+let fold_stats ?(jobs = 1) prog pass =
+  let funcs = Array.of_list (Program.funcs prog) in
+  let n = Array.length funcs in
+  let jobs = if jobs <= 0 then Domain.recommended_domain_count () else jobs in
+  let jobs = min jobs (max 1 n) in
+  if jobs <= 1 then begin
+    let total = Stats.create () in
+    Array.iter (fun (_, f) -> Stats.add ~into:total (pass f)) funcs;
+    total
+  end
+  else begin
+    let next = Atomic.make 0 in
+    let worker () =
+      let local = Stats.create () in
+      let running = ref true in
+      while !running do
+        let i = Atomic.fetch_and_add next 1 in
+        if i >= n then running := false
+        else begin
+          let _, f = funcs.(i) in
+          Stats.add ~into:local (pass f)
+        end
+      done;
+      local
+    in
+    let helpers = Array.init (jobs - 1) (fun _ -> Domain.spawn worker) in
+    let total = worker () in
+    Array.iter (fun d -> Stats.add ~into:total (Domain.join d)) helpers;
+    total
+  end

@@ -1,0 +1,21 @@
+(** Domain-parallel fan-out of per-function passes.
+
+    Register allocation is embarrassingly parallel across functions, and
+    the paper's whole argument is compile-time: spreading the per-function
+    work over a few domains buys wall-clock time without touching the
+    algorithm. *)
+
+open Lsra_ir
+
+(** [fold_stats ?jobs prog pass] runs [pass] on every function of [prog]
+    and returns the {!Stats.add}-merged totals.
+
+    [jobs <= 1] (the default) runs sequentially on the calling domain —
+    no domains are spawned, and behaviour is exactly the pre-parallel
+    fold. [jobs = 0] picks [Domain.recommended_domain_count ()]. With
+    [jobs > 1], functions are handed out through an atomic cursor to
+    [jobs] domains (the caller's included); [pass] must therefore only
+    touch the function it is given. Allocation results and merged
+    counters are identical to a sequential run — only the order in which
+    functions are processed changes. *)
+val fold_stats : ?jobs:int -> Program.t -> (Func.t -> Stats.t) -> Stats.t

@@ -1,11 +1,24 @@
 open Lsra_ir
 open Lsra_target
 
-type t = { machine : Machine.t; n_int : int; total : int }
+type t = {
+  machine : Machine.t;
+  n_int : int;
+  total : int;
+  int_idxs : int list; (* cached: [of_cls] is called on every assignment *)
+  float_idxs : int list;
+}
 
 let create machine =
   let n_int = Machine.n_regs machine Rclass.Int in
-  { machine; n_int; total = n_int + Machine.n_regs machine Rclass.Float }
+  let total = n_int + Machine.n_regs machine Rclass.Float in
+  {
+    machine;
+    n_int;
+    total;
+    int_idxs = List.init n_int (fun i -> i);
+    float_idxs = List.init (total - n_int) (fun i -> n_int + i);
+  }
 
 let machine t = t.machine
 let total t = t.total
@@ -21,6 +34,11 @@ let to_reg t i =
   else Mreg.make ~cls:Rclass.Float (i - t.n_int)
 
 let of_cls t cls =
+  match cls with Rclass.Int -> t.int_idxs | Rclass.Float -> t.float_idxs
+
+(* The flat indices of a class form a contiguous range; hot loops iterate
+   it directly instead of walking the list. *)
+let cls_range t cls =
   match cls with
-  | Rclass.Int -> List.init t.n_int (fun i -> i)
-  | Rclass.Float -> List.init (t.total - t.n_int) (fun i -> t.n_int + i)
+  | Rclass.Int -> (0, t.n_int)
+  | Rclass.Float -> (t.n_int, t.total)

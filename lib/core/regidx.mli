@@ -16,5 +16,10 @@ val total : t -> int
 val of_reg : t -> Mreg.t -> int
 val to_reg : t -> int -> Mreg.t
 
-(** Flat indices of all registers of a class, in register order. *)
+(** Flat indices of all registers of a class, in register order. The list
+    is built once at {!create} and shared between calls. *)
 val of_cls : t -> Rclass.t -> int list
+
+(** [cls_range t cls] is the half-open flat-index range [(lo, hi)] of the
+    class; equal to [of_cls] as a set, but allocation-free to iterate. *)
+val cls_range : t -> Rclass.t -> int * int

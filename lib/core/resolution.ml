@@ -209,31 +209,27 @@ let run (res : Binpack.t) =
             stores
         in
         (* Registers holding live values across this edge must not be used
-           as scratch. *)
-        let used_regs =
-          let acc = ref [] in
-          Bitset.iter
-            (fun id ->
-              (match loc_bottom p id with
-              | Binpack.In_reg r -> acc := r :: !acc
-              | Binpack.In_mem -> ());
-              match loc_top s id with
-              | Binpack.In_reg r -> acc := r :: !acc
-              | Binpack.In_mem -> ())
-            (Liveness.live_in res.Binpack.liveness s);
-          Bitset.iter
-            (fun id ->
-              match loc_bottom p id with
-              | Binpack.In_reg r -> acc := r :: !acc
-              | Binpack.In_mem -> ())
-            (Liveness.live_out res.Binpack.liveness p);
-          !acc
+           as scratch; a flat bool table makes the scratch search O(regs)
+           instead of O(regs × live). *)
+        let ridx = res.Binpack.regidx in
+        let used_regs = Array.make (Regidx.total ridx) false in
+        let mark = function
+          | Binpack.In_reg r -> used_regs.(Regidx.of_reg ridx r) <- true
+          | Binpack.In_mem -> ()
         in
+        Bitset.iter
+          (fun id ->
+            mark (loc_bottom p id);
+            mark (loc_top s id))
+          (Liveness.live_in res.Binpack.liveness s);
+        Bitset.iter
+          (fun id -> mark (loc_bottom p id))
+          (Liveness.live_out res.Binpack.liveness p);
         let scratch_for cls =
-          let m = Regidx.machine res.Binpack.regidx in
-          List.find_opt
-            (fun r -> not (List.exists (Mreg.equal r) used_regs))
-            (Lsra_target.Machine.regs m cls)
+          List.find_map
+            (fun i ->
+              if used_regs.(i) then None else Some (Regidx.to_reg ridx i))
+            (Regidx.of_cls ridx cls)
         in
         let write_instrs =
           sequentialize res ~get_slot ~scratch_for writes

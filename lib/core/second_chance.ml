@@ -1,16 +1,12 @@
-open Lsra_ir
-
 let run ?(opts = Binpack.default_options) machine func =
-  let t0 = Sys.time () in
+  (* Wall-clock: [Sys.time] counts CPU over every domain of the process,
+     which misattributes time once functions allocate in parallel. *)
+  let t0 = Unix.gettimeofday () in
   let scanned = Binpack.scan ~opts machine func in
-  Resolution.run scanned;
   let stats = scanned.Binpack.stats in
-  stats.Stats.alloc_time <- Sys.time () -. t0;
+  Stats.timed stats Stats.Resolution (fun () -> Resolution.run scanned);
+  stats.Stats.alloc_time <- Unix.gettimeofday () -. t0;
   stats
 
-let run_program ?opts machine prog =
-  let total = Stats.create () in
-  List.iter
-    (fun (_, f) -> Stats.add ~into:total (run ?opts machine f))
-    (Program.funcs prog);
-  total
+let run_program ?opts ?jobs machine prog =
+  Parallel.fold_stats ?jobs prog (run ?opts machine)

@@ -9,5 +9,7 @@ open Lsra_target
     to a machine register and spill code carries provenance tags. *)
 val run : ?opts:Binpack.options -> Machine.t -> Func.t -> Stats.t
 
-(** Allocate every function of a program; returns accumulated stats. *)
-val run_program : ?opts:Binpack.options -> Machine.t -> Program.t -> Stats.t
+(** Allocate every function of a program; returns accumulated stats.
+    [jobs] fans functions across domains via {!Parallel.fold_stats}. *)
+val run_program :
+  ?opts:Binpack.options -> ?jobs:int -> Machine.t -> Program.t -> Stats.t

@@ -11,7 +11,14 @@ type t = {
   mutable interference_edges : int;
   mutable coalesced_moves : int;
   mutable alloc_time : float;
+  mutable time_liveness : float;
+  mutable time_lifetime : float;
+  mutable time_scan : float;
+  mutable time_resolution : float;
+  mutable time_peephole : float;
 }
+
+type pass = Liveness | Lifetime | Scan | Resolution | Peephole
 
 let create () =
   {
@@ -27,11 +34,44 @@ let create () =
     interference_edges = 0;
     coalesced_moves = 0;
     alloc_time = 0.;
+    time_liveness = 0.;
+    time_lifetime = 0.;
+    time_scan = 0.;
+    time_resolution = 0.;
+    time_peephole = 0.;
   }
 
 let total_spill s =
   s.evict_loads + s.evict_stores + s.evict_moves + s.resolve_loads
   + s.resolve_stores + s.resolve_moves
+
+let pass_time s = function
+  | Liveness -> s.time_liveness
+  | Lifetime -> s.time_lifetime
+  | Scan -> s.time_scan
+  | Resolution -> s.time_resolution
+  | Peephole -> s.time_peephole
+
+let add_pass_time s pass dt =
+  match pass with
+  | Liveness -> s.time_liveness <- s.time_liveness +. dt
+  | Lifetime -> s.time_lifetime <- s.time_lifetime +. dt
+  | Scan -> s.time_scan <- s.time_scan +. dt
+  | Resolution -> s.time_resolution <- s.time_resolution +. dt
+  | Peephole -> s.time_peephole <- s.time_peephole +. dt
+
+(* Wall-clock, not [Sys.time]: process CPU time aggregates over every
+   running domain, which would overstate each pass once allocation fans
+   out across domains. *)
+let timed s pass f =
+  let t0 = Unix.gettimeofday () in
+  match f () with
+  | v ->
+    add_pass_time s pass (Unix.gettimeofday () -. t0);
+    v
+  | exception e ->
+    add_pass_time s pass (Unix.gettimeofday () -. t0);
+    raise e
 
 let add ~into s =
   into.evict_loads <- into.evict_loads + s.evict_loads;
@@ -46,7 +86,12 @@ let add ~into s =
     max into.coloring_iterations s.coloring_iterations;
   into.interference_edges <- into.interference_edges + s.interference_edges;
   into.coalesced_moves <- into.coalesced_moves + s.coalesced_moves;
-  into.alloc_time <- into.alloc_time +. s.alloc_time
+  into.alloc_time <- into.alloc_time +. s.alloc_time;
+  into.time_liveness <- into.time_liveness +. s.time_liveness;
+  into.time_lifetime <- into.time_lifetime +. s.time_lifetime;
+  into.time_scan <- into.time_scan +. s.time_scan;
+  into.time_resolution <- into.time_resolution +. s.time_resolution;
+  into.time_peephole <- into.time_peephole +. s.time_peephole
 
 let pp fmt s =
   Format.fprintf fmt
@@ -55,4 +100,14 @@ let pp fmt s =
      slots: %d; dataflow rounds: %d; coloring iterations: %d@]"
     s.evict_loads s.evict_stores s.evict_moves s.resolve_loads
     s.resolve_stores s.resolve_moves s.slots s.dataflow_rounds
-    s.coloring_iterations
+    s.coloring_iterations;
+  let ttotal =
+    s.time_liveness +. s.time_lifetime +. s.time_scan +. s.time_resolution
+    +. s.time_peephole
+  in
+  if ttotal > 0. then
+    Format.fprintf fmt
+      "@,@[<v>pass times (ms): liveness %.2f, lifetime %.2f, scan %.2f, \
+       resolution %.2f, peephole %.2f@]"
+      (1e3 *. s.time_liveness) (1e3 *. s.time_lifetime) (1e3 *. s.time_scan)
+      (1e3 *. s.time_resolution) (1e3 *. s.time_peephole)

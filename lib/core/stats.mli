@@ -1,7 +1,8 @@
 (** Static allocation statistics, in the categories of the paper's
     Figure 3 (evict vs. resolve, load/store/move) plus allocator-internal
-    counters. Dynamic (executed) counts come from the simulator, which
-    classifies instructions by their {!Lsra_ir.Instr.tag}. *)
+    counters and a per-pass wall-time breakdown. Dynamic (executed) counts
+    come from the simulator, which classifies instructions by their
+    {!Lsra_ir.Instr.tag}. *)
 
 type t = {
   mutable evict_loads : int;
@@ -16,12 +17,30 @@ type t = {
   mutable interference_edges : int;
   mutable coalesced_moves : int;
   mutable alloc_time : float;  (** seconds spent inside the allocator *)
+  mutable time_liveness : float;  (** wall seconds, per pass, below *)
+  mutable time_lifetime : float;
+  mutable time_scan : float;
+  mutable time_resolution : float;
+  mutable time_peephole : float;
 }
+
+(** The passes the wall-time breakdown distinguishes: the two analyses
+    feeding the allocator, the allocate-and-rewrite scan, the CFG-edge
+    resolution and the post-allocation peephole. *)
+type pass = Liveness | Lifetime | Scan | Resolution | Peephole
 
 val create : unit -> t
 val total_spill : t -> int
 
-(** Accumulate [s] into [into] (max for round/iteration counters). *)
+(** Accumulated wall seconds recorded for a pass. *)
+val pass_time : t -> pass -> float
+
+(** [timed s pass f] runs [f ()] and adds its wall-clock duration to
+    [pass]'s counter in [s] (also on exception). *)
+val timed : t -> pass -> (unit -> 'a) -> 'a
+
+(** Accumulate [s] into [into] (max for round/iteration counters, sums
+    elsewhere, including the pass times). *)
 val add : into:t -> t -> unit
 
 val pp : Format.formatter -> t -> unit

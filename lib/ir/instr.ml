@@ -43,11 +43,11 @@ type desc =
 
 type t = { uid : int; desc : desc; tag : tag }
 
-let uid_counter = ref 0
+(* Atomic so that functions can be allocated from several domains at
+   once; uids stay unique program-wide either way. *)
+let uid_counter = Atomic.make 0
 
-let fresh_uid () =
-  incr uid_counter;
-  !uid_counter
+let fresh_uid () = Atomic.fetch_and_add uid_counter 1 + 1
 
 let make ?(tag = Original) desc = { uid = fresh_uid (); desc; tag }
 let with_desc t desc = { t with desc }

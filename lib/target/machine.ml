@@ -1,0 +1,124 @@
+open Lsra_ir
+
+(* Register layout, per class: index 0 returns the value, 1..n_args carry
+   parameters, [0, caller_saved) are clobbered by calls, the rest are
+   preserved. The register lists are materialised once at [make] so the
+   allocator's hot paths never rebuild them. *)
+
+type file = {
+  count : int;
+  cs : int; (* caller-saved prefix length *)
+  nargs : int;
+  all : Mreg.t list;
+  args : Mreg.t list;
+  ret : Mreg.t;
+  saved_by_caller : Mreg.t list;
+  saved_by_callee : Mreg.t list;
+}
+
+type t = {
+  mname : string;
+  int_file : file;
+  float_file : file;
+  clobbers : Mreg.t list; (* caller-saved of both classes *)
+}
+
+let build_file ~cls ~count ~cs ~nargs =
+  let reg i = Mreg.make ~cls i in
+  let all = List.init count reg in
+  {
+    count;
+    cs;
+    nargs;
+    all;
+    args = List.init nargs (fun i -> reg (i + 1));
+    ret = reg 0;
+    saved_by_caller = List.init cs reg;
+    saved_by_callee = List.init (count - cs) (fun i -> reg (cs + i));
+  }
+
+let make ~name ~int_regs ~float_regs ~int_caller_saved ~float_caller_saved
+    ~n_int_args ~n_float_args =
+  let check_file what ~count ~cs ~nargs ~min_count =
+    if count < min_count then
+      invalid_arg
+        (Printf.sprintf "Machine.make: %s needs at least %d registers (got %d)"
+           what min_count count);
+    if cs < 0 || cs > count then
+      invalid_arg
+        (Printf.sprintf
+           "Machine.make: %s caller-saved count %d outside [0, %d]" what cs
+           count);
+    if nargs < 0 || nargs > count - 1 then
+      invalid_arg
+        (Printf.sprintf
+           "Machine.make: %s cannot pass %d register arguments with %d \
+            registers"
+           what nargs count)
+  in
+  (* The binpacking scan and the resolver both need a second integer
+     register to shuffle values through; a single-register integer file is
+     unusable. A one-register float file is fine (floats may simply never
+     be allocated). *)
+  check_file "integer class" ~count:int_regs ~cs:int_caller_saved
+    ~nargs:n_int_args ~min_count:2;
+  check_file "float class" ~count:float_regs ~cs:float_caller_saved
+    ~nargs:n_float_args ~min_count:1;
+  let int_file =
+    build_file ~cls:Rclass.Int ~count:int_regs ~cs:int_caller_saved
+      ~nargs:n_int_args
+  in
+  let float_file =
+    build_file ~cls:Rclass.Float ~count:float_regs ~cs:float_caller_saved
+      ~nargs:n_float_args
+  in
+  {
+    mname = name;
+    int_file;
+    float_file;
+    clobbers = int_file.saved_by_caller @ float_file.saved_by_caller;
+  }
+
+let alpha_like =
+  make ~name:"alpha-like" ~int_regs:27 ~float_regs:28 ~int_caller_saved:15
+    ~float_caller_saved:14 ~n_int_args:6 ~n_float_args:6
+
+let small ?(int_regs = 4) ?(float_regs = 4) ?(int_caller_saved = 2)
+    ?(float_caller_saved = 2) () =
+  let name =
+    if int_regs = 4 && float_regs = 4 then "small"
+    else Printf.sprintf "small:%d:%d" int_regs float_regs
+  in
+  (* Keep the top two registers of each file out of the calling
+     convention: the Poletto baseline reserves them for spill scratch and
+     relies on them never carrying parameters. *)
+  make ~name ~int_regs ~float_regs ~int_caller_saved ~float_caller_saved
+    ~n_int_args:(max 0 (min 2 (int_regs - 3)))
+    ~n_float_args:(max 0 (min 2 (float_regs - 3)))
+
+let file t cls =
+  match (cls : Rclass.t) with
+  | Rclass.Int -> t.int_file
+  | Rclass.Float -> t.float_file
+
+let name t = t.mname
+let n_regs t cls = (file t cls).count
+let regs t cls = (file t cls).all
+
+let arg_reg t cls i =
+  let f = file t cls in
+  if i < 0 || i >= f.nargs then
+    invalid_arg
+      (Printf.sprintf "Machine.arg_reg: %s has no %s argument register %d"
+         t.mname (Rclass.to_string cls) i);
+  Mreg.make ~cls (i + 1)
+
+let int_args t = t.int_file.args
+let float_args t = t.float_file.args
+let ret_reg t cls = (file t cls).ret
+let int_ret t = t.int_file.ret
+let float_ret t = t.float_file.ret
+let caller_saved t cls = (file t cls).saved_by_caller
+let callee_saved t cls = (file t cls).saved_by_callee
+let all_caller_saved t = t.clobbers
+let is_caller_saved t r = Mreg.idx r < (file t (Mreg.cls r)).cs

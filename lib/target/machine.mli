@@ -1,0 +1,88 @@
+(** Parametric machine descriptions: one register file per {!Lsra_ir.Rclass},
+    a caller/callee-saved split, and the argument/result conventions the
+    lowering, the workload builders, the prechecker and the simulator all
+    agree on.
+
+    The register layout is fixed by convention, per class:
+    - register 0 is the return-value register;
+    - registers [1 .. n_args] are the parameter registers;
+    - registers [0 .. caller_saved-1] are caller-saved (clobbered by
+      calls), the rest are callee-saved (preserved across calls).
+
+    The return and parameter registers therefore are caller-saved whenever
+    the caller-saved count covers them, as it does on every predefined
+    machine. *)
+
+open Lsra_ir
+
+type t
+
+(** [make ~name ~int_regs ~float_regs ~int_caller_saved ~float_caller_saved
+    ~n_int_args ~n_float_args] describes a machine.
+
+    Raises [Invalid_argument] when the shape is unusable: fewer than two
+    integer registers (the allocators need a return register plus at least
+    one more to shuffle values through), no float register, a caller-saved
+    count outside [0, regs], or more argument registers than the register
+    file can name besides the return register. *)
+val make :
+  name:string ->
+  int_regs:int ->
+  float_regs:int ->
+  int_caller_saved:int ->
+  float_caller_saved:int ->
+  n_int_args:int ->
+  n_float_args:int ->
+  t
+
+(** An Alpha-21064-like machine, the paper's target: 27 allocatable integer
+    and 28 allocatable float registers, 6 parameter registers per class. *)
+val alpha_like : t
+
+(** A configurable machine small enough to force spills in tests and
+    examples. Defaults: 4 registers per class, 2 of them caller-saved,
+    and [min 2 (regs - 3)] parameter registers per class (the top two
+    registers stay convention-free for {!Lsra.Poletto}'s reserved spill
+    scratch). *)
+val small :
+  ?int_regs:int ->
+  ?float_regs:int ->
+  ?int_caller_saved:int ->
+  ?float_caller_saved:int ->
+  unit ->
+  t
+
+val name : t -> string
+
+(** Number of registers in the class's register file. *)
+val n_regs : t -> Rclass.t -> int
+
+(** All registers of a class, in index order. The list is built once per
+    machine and shared; do not mutate assumptions about its identity. *)
+val regs : t -> Rclass.t -> Mreg.t list
+
+(** [arg_reg m cls i] is the [i]-th parameter register of [cls]. Raises
+    [Invalid_argument] when the machine has no such parameter register. *)
+val arg_reg : t -> Rclass.t -> int -> Mreg.t
+
+(** The integer / float parameter registers, in argument order. *)
+val int_args : t -> Mreg.t list
+
+val float_args : t -> Mreg.t list
+
+(** The return-value register of a class. *)
+val ret_reg : t -> Rclass.t -> Mreg.t
+
+val int_ret : t -> Mreg.t
+val float_ret : t -> Mreg.t
+
+(** Caller-saved (call-clobbered) registers of a class. *)
+val caller_saved : t -> Rclass.t -> Mreg.t list
+
+(** Callee-saved (call-preserved) registers of a class. *)
+val callee_saved : t -> Rclass.t -> Mreg.t list
+
+(** Caller-saved registers of every class, the clobber list of a call. *)
+val all_caller_saved : t -> Mreg.t list
+
+val is_caller_saved : t -> Mreg.t -> bool

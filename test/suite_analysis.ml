@@ -290,6 +290,69 @@ let test_dataflow_forward_inter () =
   Alcotest.(check bool) "bit 1 available at join (both paths)" true
     (Bitset.mem r.Dataflow.in_of.(j) 1)
 
+(* The worklist solver must compute exactly the fixpoint of the
+   round-robin reference solver, on arbitrary CFGs (including cycles and
+   unreachable islands), for every direction × meet combination. *)
+let solver_equivalence_prop =
+  QCheck.Test.make ~count:200
+    ~name:"worklist dataflow matches round-robin reference"
+    QCheck.(pair (int_range 1 12) (int_range 0 1_000_000))
+    (fun (n, seed) ->
+      let rng = Random.State.make [| seed; n |] in
+      let label i = "b" ^ string_of_int i in
+      let blocks =
+        List.init n (fun i ->
+            let term =
+              match Random.State.int rng 4 with
+              | 0 -> Block.Ret
+              | 1 -> Block.Jump (label (Random.State.int rng n))
+              | _ ->
+                Block.Branch
+                  {
+                    op = Instr.Eq;
+                    a = Operand.int 0;
+                    b = Operand.int 0;
+                    ifso = label (Random.State.int rng n);
+                    ifnot = label (Random.State.int rng n);
+                  }
+            in
+            Block.make ~label:(label i) ~body:[||] ~term)
+      in
+      let cfg = Cfg.create ~entry:(label 0) blocks in
+      let width = 24 in
+      let random_set () =
+        let s = Bitset.create width in
+        for j = 0 to width - 1 do
+          if Random.State.bool rng then Bitset.add s j
+        done;
+        s
+      in
+      let gk = Hashtbl.create 16 in
+      List.iter
+        (fun b ->
+          Hashtbl.replace gk (Block.label b) (random_set (), random_set ()))
+        blocks;
+      let gen b = fst (Hashtbl.find gk (Block.label b)) in
+      let kill b = snd (Hashtbl.find gk (Block.label b)) in
+      let same a b =
+        Array.length a = Array.length b
+        && Array.for_all2 Bitset.equal a b
+      in
+      List.for_all
+        (fun (direction, meet) ->
+          let w = Dataflow.solve cfg ~direction ~meet ~width ~gen ~kill () in
+          let r =
+            Dataflow.solve_reference cfg ~direction ~meet ~width ~gen ~kill ()
+          in
+          same w.Dataflow.in_of r.Dataflow.in_of
+          && same w.Dataflow.out_of r.Dataflow.out_of)
+        [
+          (Dataflow.Backward, Dataflow.Union);
+          (Dataflow.Backward, Dataflow.Inter);
+          (Dataflow.Forward, Dataflow.Union);
+          (Dataflow.Forward, Dataflow.Inter);
+        ])
+
 (* ---------------- dead code elimination ---------------- *)
 
 let test_dce () =
@@ -357,4 +420,5 @@ let suite =
     Alcotest.test_case "dce preserves behaviour" `Quick
       test_dce_preserves_behaviour;
   ]
-  @ List.map (QCheck_alcotest.to_alcotest ~long:false) bitset_props
+  @ List.map (QCheck_alcotest.to_alcotest ~long:false)
+      (bitset_props @ [ solver_equivalence_prop ])

@@ -103,6 +103,37 @@ let test_pipeline_cleanup_verifies () =
       (Lsra_sim.Value.to_string b.Lsra_sim.Interp.ret)
   | Error e, _ | _, Error e -> Alcotest.failf "trapped: %s" e
 
+let test_parallel_allocation_deterministic () =
+  (* run_program ~jobs must produce the very same allocated program and
+     the same merged counters as the sequential path, on every Specbench
+     workload *)
+  let machine = Machine.alpha_like in
+  List.iter
+    (fun (case : Lsra_workloads.Specbench.case) ->
+      let seq = Program.copy case.Lsra_workloads.Specbench.program in
+      let par = Program.copy case.Lsra_workloads.Specbench.program in
+      let s_seq = Lsra.Allocator.run_program Lsra.Allocator.default_second_chance machine seq in
+      let s_par =
+        Lsra.Allocator.run_program ~jobs:4
+          Lsra.Allocator.default_second_chance machine par
+      in
+      let name = case.Lsra_workloads.Specbench.name in
+      Alcotest.(check string)
+        (name ^ ": identical allocated program")
+        (Lsra_text.Ir_text.to_string seq)
+        (Lsra_text.Ir_text.to_string par);
+      Alcotest.(check int)
+        (name ^ ": same spill total")
+        (Lsra.Stats.total_spill s_seq)
+        (Lsra.Stats.total_spill s_par);
+      Alcotest.(check int)
+        (name ^ ": same slots")
+        s_seq.Lsra.Stats.slots s_par.Lsra.Stats.slots;
+      Alcotest.(check int)
+        (name ^ ": same dataflow rounds")
+        s_seq.Lsra.Stats.dataflow_rounds s_par.Lsra.Stats.dataflow_rounds)
+    (Lsra_workloads.Specbench.all machine ~scale:1)
+
 let test_allocator_names () =
   Alcotest.(check string) "binpack short name" "binpack"
     (Lsra.Allocator.short_name Lsra.Allocator.default_second_chance);
@@ -130,5 +161,7 @@ let suite =
       test_pipeline_verifies_all_algorithms;
     Alcotest.test_case "pipeline cleanup composes with verify" `Quick
       test_pipeline_cleanup_verifies;
+    Alcotest.test_case "parallel allocation is deterministic" `Quick
+      test_parallel_allocation_deterministic;
     Alcotest.test_case "allocator names" `Quick test_allocator_names;
   ]
