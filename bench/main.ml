@@ -18,23 +18,35 @@ open Lsra_target
 
 let machine = Machine.alpha_like
 
+(* A malformed environment override is a user error, not a signal to
+   quietly fall back to a default and benchmark the wrong configuration. *)
+let env_failure name value expected =
+  Printf.eprintf "bench: malformed %s=%S (expected %s)\n" name value expected;
+  exit 2
+
 let scale =
-  match Sys.getenv_opt "LSRA_BENCH_SCALE" with
-  | Some s -> (try max 1 (int_of_string s) with Failure _ -> 6)
+  let name = "LSRA_BENCH_SCALE" in
+  match Sys.getenv_opt name with
   | None -> 6
+  | Some s -> (
+    match int_of_string_opt (String.trim s) with
+    | Some n when n >= 1 -> n
+    | Some _ | None -> env_failure name s "an integer >= 1")
 
 (* Domains used for the parallel-allocation measurements (perfdump, and
    any table that honours it). Defaults to what the host can actually run
    concurrently: extra domains on an oversubscribed machine make the
-   stop-the-world minor collections dramatically more expensive. *)
+   stop-the-world minor collections dramatically more expensive. 0 means
+   "pick for this host". *)
 let jobs =
-  match Sys.getenv_opt "LSRA_BENCH_JOBS" with
-  | Some s -> (
-    try
-      let n = int_of_string s in
-      if n <= 0 then Domain.recommended_domain_count () else n
-    with Failure _ -> 1)
+  let name = "LSRA_BENCH_JOBS" in
+  match Sys.getenv_opt name with
   | None -> Domain.recommended_domain_count ()
+  | Some s -> (
+    match int_of_string_opt (String.trim s) with
+    | Some n when n > 0 -> n
+    | Some 0 -> Domain.recommended_domain_count ()
+    | Some _ | None -> env_failure name s "an integer >= 0")
 
 (* ------------------------------------------------------------------ *)
 (* Shared plumbing                                                     *)
@@ -546,6 +558,43 @@ let perfdump () =
 
 (* ------------------------------------------------------------------ *)
 
+(* Differential fuzz run: seeded random programs through every allocator
+   on every fuzz machine, divergences shrunk to minimal reproducers.
+   `fuzz [COUNT] [BASE]` checks seeds BASE..BASE+COUNT-1 (default 100
+   from 0) — a fixed seed set, so CI runs are reproducible. *)
+let fuzz () =
+  let argv_int pos ~default ~what =
+    if Array.length Sys.argv <= pos then default
+    else
+      match int_of_string_opt Sys.argv.(pos) with
+      | Some n when n >= 0 -> n
+      | Some _ | None ->
+        Printf.eprintf "bench fuzz: malformed %s %S (expected an integer >= 0)\n"
+          what Sys.argv.(pos);
+        exit 2
+  in
+  let count = argv_int 2 ~default:100 ~what:"seed count" in
+  let base = argv_int 3 ~default:0 ~what:"seed base" in
+  let seeds = List.init count (fun i -> base + i) in
+  Printf.printf
+    "diffexec fuzz: seeds %d..%d, %d machines x %d allocators\n%!" base
+    (base + count - 1)
+    (List.length Lsra_sim.Diffexec.default_fuzz_machines)
+    (List.length Lsra.Allocator.all);
+  let t0 = Unix.gettimeofday () in
+  let reports =
+    Lsra_sim.Diffexec.fuzz ~log:(Printf.printf "  %s\n%!") ~seeds ()
+  in
+  Printf.printf "fuzz: %d seeds in %.1fs, %d divergences\n%!" count
+    (Unix.gettimeofday () -. t0)
+    (List.length reports);
+  List.iter
+    (fun r ->
+      print_newline ();
+      print_endline (Lsra_sim.Diffexec.pp_fuzz_report r))
+    reports;
+  if reports <> [] then exit 1
+
 let () =
   let which = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
   Printf.printf
@@ -563,6 +612,7 @@ let () =
   | "corpus" -> corpus ()
   | "bechamel" -> bechamel ()
   | "perfdump" -> perfdump ()
+  | "fuzz" -> fuzz ()
   | "all" ->
     table1 ();
     table2 ();
@@ -576,6 +626,6 @@ let () =
   | other ->
     Printf.eprintf
       "unknown benchmark %S (expected \
-       table1|table2|figure3|table3|twopass|ablation|layout|frames|corpus|bechamel|perfdump|all)\n"
+       table1|table2|figure3|table3|twopass|ablation|layout|frames|corpus|bechamel|perfdump|fuzz|all)\n"
       other;
     exit 2

@@ -81,6 +81,12 @@ let jobs_arg =
 
 let load file = Lsra_text.Ir_text.of_string (read_input file)
 
+(* Exit codes: 1 = bad input (parse/malformed/trap), 2 = cmdliner usage,
+   3 = the abstract verifier rejected an allocation, 4 = the differential
+   oracle found a divergence. *)
+let exit_verify_failed = 3
+let exit_divergence = 4
+
 let handle_errors f =
   try f () with
   | Lsra_frontend.Parser.Error { line; msg } ->
@@ -95,9 +101,11 @@ let handle_errors f =
   | Cfg.Malformed msg ->
     Printf.eprintf "malformed program: %s\n" msg;
     exit 1
-  | Lsra.Verify.Mismatch { where; what } ->
-    Printf.eprintf "verification failed at '%s': %s\n" where what;
-    exit 1
+  | Lsra.Verify.Mismatch { fn; block; where; what } ->
+    Printf.eprintf
+      "verification failed in function '%s', block '%s', at '%s': %s\n" fn
+      block where what;
+    exit exit_verify_failed
   | Lsra.Precheck.Rejected msg ->
     Printf.eprintf "input rejected: %s\n" msg;
     exit 1
@@ -259,6 +267,101 @@ let exec_cmd =
           and run it.")
     Term.(const run $ file_arg $ machine_arg $ algo_arg $ input_arg)
 
+(* The whole built-in corpus, as (name, program, input) triples: the
+   eleven synthetic benchmarks, the Minilang corpus through the frontend,
+   and the Table-3 pressure modules. *)
+let corpus machine ~scale =
+  List.map
+    (fun (case : Lsra_workloads.Specbench.case) ->
+      ( "spec:" ^ case.Lsra_workloads.Specbench.name,
+        case.Lsra_workloads.Specbench.program,
+        case.Lsra_workloads.Specbench.input ))
+    (Lsra_workloads.Specbench.all machine ~scale)
+  @ List.filter_map
+      (fun { Lsra_workloads.Mini_corpus.mname; source; minput } ->
+        (* A small machine may not support a program's calling convention
+           (e.g. too few argument registers); skip those entries there. *)
+        match Lsra_frontend.Minilang.compile machine source with
+        | prog -> Some ("mini:" ^ mname, prog, minput)
+        | exception Lsra_frontend.Lower.Error _ -> None)
+      Lsra_workloads.Mini_corpus.all
+  @ List.map
+      (fun shape ->
+        ( "pressure:" ^ shape.Lsra_workloads.Pressure.sname,
+          Lsra_workloads.Pressure.build machine shape,
+          "" ))
+      [
+        Lsra_workloads.Pressure.cvrin;
+        Lsra_workloads.Pressure.twldrv;
+        Lsra_workloads.Pressure.fpppp;
+      ]
+
+let diffcheck_cmd =
+  let file_arg =
+    Arg.(
+      value
+      & pos 0 (some string) None
+      & info [] ~docv:"FILE"
+          ~doc:
+            "Program to check ('-' for stdin). Without it, the built-in \
+             corpus (specbench + Minilang + pressure modules) is checked.")
+  in
+  let scale_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "scale" ] ~docv:"N" ~doc:"Corpus workload scale factor.")
+  in
+  let run file machine input fuel scale =
+    handle_errors (fun () ->
+        let jobs =
+          match file with
+          | Some f -> [ (machine, [ ("file:" ^ f, load f, input) ]) ]
+          | None ->
+            (* The given machine, plus a spill-heavy one so the oracle
+               exercises eviction and resolution, not just renaming. *)
+            let small7 =
+              Machine.small ~int_regs:7 ~float_regs:7 ~int_caller_saved:4
+                ~float_caller_saved:4 ()
+            in
+            [
+              (machine, corpus machine ~scale);
+              (small7, corpus small7 ~scale);
+            ]
+        in
+        let checks = ref 0 and divergences = ref 0 in
+        List.iter
+          (fun (m, programs) ->
+            let mname = Machine.name m in
+            List.iter
+              (fun (pname, prog, inp) ->
+                List.iter
+                  (fun algo ->
+                    incr checks;
+                    match
+                      Lsra_sim.Diffexec.check ~fuel ~input:inp m algo prog
+                    with
+                    | Ok () -> ()
+                    | Error d ->
+                      incr divergences;
+                      Printf.eprintf "DIVERGENCE %s on %s under %s: %s\n%!"
+                        pname mname
+                        (Lsra.Allocator.short_name algo)
+                        (Lsra_sim.Diffexec.divergence_to_string d))
+                  Lsra.Allocator.all)
+              programs)
+          jobs;
+        Printf.printf "diffcheck: %d checks, %d divergences\n" !checks
+          !divergences;
+        if !divergences > 0 then exit exit_divergence)
+  in
+  Cmd.v
+    (Cmd.info "diffcheck"
+       ~doc:
+         "Differential-execution oracle: run programs before and after \
+          allocation under every allocator and compare all observable \
+          behaviour. Exits 4 on any divergence.")
+    Term.(const run $ file_arg $ machine_arg $ input_arg $ fuel_arg $ scale_arg)
+
 let () =
   let default = Term.(ret (const (`Help (`Pager, None)))) in
   exit
@@ -268,4 +371,13 @@ let () =
              ~doc:
                "Second-chance binpacking register allocation — tools over \
                 the textual IR.")
-          [ alloc_cmd; run_cmd; stats_cmd; gen_cmd; case_cmd; compile_cmd; exec_cmd ]))
+          [
+            alloc_cmd;
+            run_cmd;
+            stats_cmd;
+            gen_cmd;
+            case_cmd;
+            compile_cmd;
+            exec_cmd;
+            diffcheck_cmd;
+          ]))

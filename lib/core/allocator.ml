@@ -8,6 +8,12 @@ type algorithm =
 
 let default_second_chance = Second_chance Binpack.default_options
 
+(* All four allocators with their default options, in the order the
+   paper discusses them. Corpus-wide oracles (verification, differential
+   execution) iterate this list so a new allocator is checked everywhere
+   by adding it here. *)
+let all = [ default_second_chance; Two_pass; Poletto; Graph_coloring ]
+
 let name = function
   | Second_chance _ -> "second-chance binpacking"
   | Two_pass -> "two-pass binpacking"

@@ -11,6 +11,13 @@ type algorithm =
   | Graph_coloring
 
 val default_second_chance : algorithm
+
+(** All four allocators (default options), in the paper's order. The
+    corpus-wide oracles — {!run_program} callers, the verifier sweeps in
+    the test suite, and the differential-execution checker — iterate this
+    list, so adding an allocator here puts it under every oracle. *)
+val all : algorithm list
+
 val name : algorithm -> string
 val short_name : algorithm -> string
 val run : algorithm -> Machine.t -> Func.t -> Stats.t

@@ -600,9 +600,5 @@ let run machine func =
   stats.Stats.alloc_time <- Sys.time () -. t0;
   stats
 
-let run_program machine prog =
-  let total = Stats.create () in
-  List.iter
-    (fun (_, f) -> Stats.add ~into:total (run machine f))
-    (Program.funcs prog);
-  total
+let run_program ?jobs machine prog =
+  Parallel.fold_stats ?jobs prog (run machine)

@@ -15,5 +15,6 @@ exception Coloring_failure of string
 val run : Machine.t -> Func.t -> Stats.t
 
 (** Allocate every function of a program; returns accumulated stats
-    ([coloring_iterations] and [interference_edges] feed Table 3). *)
-val run_program : Machine.t -> Program.t -> Stats.t
+    ([coloring_iterations] and [interference_edges] feed Table 3).
+    [jobs] fans out across domains via {!Parallel.fold_stats}. *)
+val run_program : ?jobs:int -> Machine.t -> Program.t -> Stats.t

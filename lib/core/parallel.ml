@@ -4,7 +4,16 @@ open Lsra_ir
    shares mutable state across functions (instruction uids come from an
    atomic counter). Work is handed out through an atomic cursor, one
    function at a time, so a domain stuck on a large function does not
-   hold back the others. *)
+   hold back the others.
+
+   Exceptions: a worker never lets one escape into Domain.join. Each
+   worker returns either its local stats or the first exception it hit
+   (with backtrace); the failing worker also parks the cursor past the
+   end so the other domains drain quickly. After every helper has been
+   joined, the first recorded error is re-raised — no leaked domains, no
+   lost exceptions. *)
+
+type 'a worker_result = Done of 'a | Failed of exn * Printexc.raw_backtrace
 
 let fold_stats ?(jobs = 1) prog pass =
   let funcs = Array.of_list (Program.funcs prog) in
@@ -19,20 +28,37 @@ let fold_stats ?(jobs = 1) prog pass =
   else begin
     let next = Atomic.make 0 in
     let worker () =
-      let local = Stats.create () in
-      let running = ref true in
-      while !running do
-        let i = Atomic.fetch_and_add next 1 in
-        if i >= n then running := false
-        else begin
-          let _, f = funcs.(i) in
-          Stats.add ~into:local (pass f)
-        end
-      done;
-      local
+      try
+        let local = Stats.create () in
+        let running = ref true in
+        while !running do
+          let i = Atomic.fetch_and_add next 1 in
+          if i >= n then running := false
+          else begin
+            let _, f = funcs.(i) in
+            Stats.add ~into:local (pass f)
+          end
+        done;
+        Done local
+      with e ->
+        let bt = Printexc.get_raw_backtrace () in
+        (* Stop handing out work: the allocation is aborting anyway. *)
+        Atomic.set next n;
+        Failed (e, bt)
     in
     let helpers = Array.init (jobs - 1) (fun _ -> Domain.spawn worker) in
-    let total = worker () in
-    Array.iter (fun d -> Stats.add ~into:total (Domain.join d)) helpers;
-    total
+    let mine = worker () in
+    let results = Array.map Domain.join helpers in
+    let total = Stats.create () in
+    let first_error = ref None in
+    let consider = function
+      | Done local -> Stats.add ~into:total local
+      | Failed (e, bt) ->
+        if !first_error = None then first_error := Some (e, bt)
+    in
+    consider mine;
+    Array.iter consider results;
+    match !first_error with
+    | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+    | None -> total
   end

@@ -17,5 +17,10 @@ open Lsra_ir
     [jobs] domains (the caller's included); [pass] must therefore only
     touch the function it is given. Allocation results and merged
     counters are identical to a sequential run — only the order in which
-    functions are processed changes. *)
+    functions are processed changes.
+
+    If [pass] raises (on any domain), every spawned helper is still
+    joined before the call returns, and the first exception observed is
+    re-raised with its backtrace — no domain is leaked and no error is
+    swallowed. *)
 val fold_stats : ?jobs:int -> Program.t -> (Func.t -> Stats.t) -> Stats.t

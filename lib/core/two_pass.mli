@@ -12,4 +12,7 @@ open Lsra_target
 exception Out_of_registers of string
 
 val run : Machine.t -> Func.t -> Stats.t
-val run_program : Machine.t -> Program.t -> Stats.t
+
+(** Allocate every function; [jobs] fans out across domains via
+    {!Parallel.fold_stats} (default sequential). *)
+val run_program : ?jobs:int -> Machine.t -> Program.t -> Stats.t

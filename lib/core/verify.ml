@@ -24,12 +24,25 @@ type astate = {
   slots : Bitset.t array;
 }
 
-type error = { where : string; what : string }
+type error = { fn : string; block : string; where : string; what : string }
 
 exception Mismatch of error
 
+(* Errors are raised from deep inside the abstract execution, where only
+   the instruction is in scope; the block and function names are filled
+   in by the walkers below as the exception propagates outward. *)
 let fail where fmt =
-  Printf.ksprintf (fun what -> raise (Mismatch { where; what })) fmt
+  Printf.ksprintf
+    (fun what -> raise (Mismatch { fn = ""; block = ""; where; what }))
+    fmt
+
+let within_block label f =
+  try f () with
+  | Mismatch e when e.block = "" -> raise (Mismatch { e with block = label })
+
+let within_func name f =
+  try f () with
+  | Mismatch e when e.fn = "" -> raise (Mismatch { e with fn = name })
 
 let copy_state s =
   {
@@ -61,6 +74,7 @@ let index_original (func : Func.t) =
   tbl
 
 let run machine ~original ~allocated =
+  within_func (Func.name allocated) @@ fun () ->
   let regidx = Regidx.create machine in
   let nregs = Regidx.total regidx in
   let orig = index_original original in
@@ -72,6 +86,7 @@ let run machine ~original ~allocated =
   (* Structural check: no temporaries remain. *)
   Cfg.iter_blocks
     (fun b ->
+      within_block (Block.label b) @@ fun () ->
       let check_loc where (l : Loc.t) =
         match l with
         | Loc.Temp t ->
@@ -249,8 +264,9 @@ let run machine ~original ~allocated =
         | None -> ()
         | Some s0 ->
           let st = copy_state s0 in
-          Array.iter (exec_instr st) (Block.body b);
-          exec_term st b;
+          within_block (Block.label b) (fun () ->
+              Array.iter (exec_instr st) (Block.body b);
+              exec_term st b);
           List.iter
             (fun l ->
               let si = Cfg.block_index cfg l in

@@ -13,7 +13,12 @@
 open Lsra_ir
 open Lsra_target
 
-type error = { where : string; what : string }
+type error = {
+  fn : string;  (** function being verified *)
+  block : string;  (** label of the block holding the faulty site *)
+  where : string;  (** the instruction or terminator, printed *)
+  what : string;  (** what went wrong there *)
+}
 
 exception Mismatch of error
 

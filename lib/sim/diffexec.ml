@@ -1,0 +1,289 @@
+open Lsra_ir
+open Lsra_target
+
+(* Differential-execution oracle: run a program before allocation and
+   after, on the same interpreter, and compare everything observable —
+   the output stream and the returned value. The interpreter poisons
+   caller-saved registers at calls and traps on undefined reads, so a
+   divergence pins an allocator bug to a concrete execution, which is a
+   strictly stronger (if slower) oracle than the abstract verifier.
+
+   The fuzzing half drives seeded random programs from Gen through every
+   allocator and, on a divergence, shrinks the program — deleting
+   instructions and straightening branches while the failure persists —
+   to a minimal textual reproducer. *)
+
+type divergence =
+  | Reference_trap of string
+  | Allocated_trap of string
+  | Output_mismatch of { expected : string; actual : string }
+  | Ret_mismatch of { expected : Value.t; actual : Value.t }
+  | Verifier_reject of Lsra.Verify.error
+  | Allocator_raise of string
+
+let divergence_to_string = function
+  | Reference_trap e -> Printf.sprintf "pre-allocation program traps: %s" e
+  | Allocated_trap e -> Printf.sprintf "allocated program traps: %s" e
+  | Output_mismatch { expected; actual } ->
+    Printf.sprintf "output mismatch: expected %S, got %S" expected actual
+  | Ret_mismatch { expected; actual } ->
+    Printf.sprintf "return-value mismatch: expected %s, got %s"
+      (Value.to_string expected) (Value.to_string actual)
+  | Verifier_reject e ->
+    Printf.sprintf "verifier rejects function '%s' (block '%s') at '%s': %s"
+      e.Lsra.Verify.fn e.Lsra.Verify.block e.Lsra.Verify.where
+      e.Lsra.Verify.what
+  | Allocator_raise e -> Printf.sprintf "allocator raised: %s" e
+
+type alloc_fn = Machine.t -> Func.t -> unit
+
+let alloc_of algo machine func = ignore (Lsra.Allocator.run algo machine func)
+
+exception Stop of divergence
+
+let check_with ?(fuel = 200_000_000) ?(verify = true) ?(input = "") machine
+    (alloc : alloc_fn) prog =
+  match Interp.run ~fuel machine prog ~input with
+  | Error e -> Error (Reference_trap e)
+  | Ok reference -> (
+    let copy = Program.copy prog in
+    try
+      List.iter
+        (fun (_, f) ->
+          let original = if verify then Some (Func.copy f) else None in
+          (try alloc machine f
+           with e -> raise (Stop (Allocator_raise (Printexc.to_string e))));
+          match original with
+          | None -> ()
+          | Some original -> (
+            match Lsra.Verify.check machine ~original ~allocated:f with
+            | Ok () -> ()
+            | Error e -> raise (Stop (Verifier_reject e))))
+        (Program.funcs copy);
+      match Interp.run ~fuel machine copy ~input with
+      | Error e -> Error (Allocated_trap e)
+      | Ok actual ->
+        if reference.Interp.output <> actual.Interp.output then
+          Error
+            (Output_mismatch
+               {
+                 expected = reference.Interp.output;
+                 actual = actual.Interp.output;
+               })
+        else if not (Value.equal reference.Interp.ret actual.Interp.ret) then
+          Error
+            (Ret_mismatch
+               { expected = reference.Interp.ret; actual = actual.Interp.ret })
+        else Ok ()
+    with Stop d -> Error d)
+
+let check ?fuel ?verify ?input machine algo prog =
+  check_with ?fuel ?verify ?input machine (alloc_of algo) prog
+
+let check_all ?fuel ?verify ?input ?(algorithms = Lsra.Allocator.all) machine
+    prog =
+  List.filter_map
+    (fun algo ->
+      match check ?fuel ?verify ?input machine algo prog with
+      | Ok () -> None
+      | Error d -> Some (Lsra.Allocator.short_name algo, d))
+    algorithms
+
+(* ------------------------------------------------------------------ *)
+(* Shrinking                                                           *)
+
+(* A failure still counts only if the *pre-allocation* program stays
+   well-defined: a shrink step that makes the reference itself trap
+   (e.g. deleting an initialisation) is rejected, so the reproducer is
+   always a valid input on which only the allocator is wrong. *)
+let still_fails ?fuel ?verify ?input machine alloc prog =
+  match check_with ?fuel ?verify ?input machine alloc prog with
+  | Error (Reference_trap _) | Ok () -> false
+  | Error _ -> true
+
+let delete_instr prog fname bi k =
+  let f = Program.find_exn prog fname in
+  let b = (Cfg.blocks (Func.cfg f)).(bi) in
+  let body = Block.body b in
+  let n = Array.length body in
+  Block.set_body b
+    (Array.append (Array.sub body 0 k) (Array.sub body (k + 1) (n - k - 1)))
+
+let straighten_branch prog fname bi takeso =
+  let f = Program.find_exn prog fname in
+  let b = (Cfg.blocks (Func.cfg f)).(bi) in
+  match Block.term b with
+  | Block.Branch { ifso; ifnot; _ } ->
+    Block.set_term b (Block.Jump (if takeso then ifso else ifnot))
+  | Block.Jump _ | Block.Ret -> ()
+
+(* Every single-step edit of the current program: delete one body
+   instruction, or turn one conditional branch into a jump (dead blocks
+   are harmless — the interpreter and allocators never reach them). *)
+let edits prog =
+  List.concat_map
+    (fun (fname, f) ->
+      let blocks = Cfg.blocks (Func.cfg f) in
+      List.concat
+        (List.init (Array.length blocks) (fun bi ->
+             let b = blocks.(bi) in
+             let deletes =
+               List.init (Array.length (Block.body b)) (fun k p ->
+                   delete_instr p fname bi k)
+             in
+             let straightens =
+               match Block.term b with
+               | Block.Branch _ ->
+                 [
+                   (fun p -> straighten_branch p fname bi true);
+                   (fun p -> straighten_branch p fname bi false);
+                 ]
+               | Block.Jump _ | Block.Ret -> []
+             in
+             deletes @ straightens)))
+    (Program.funcs prog)
+
+let shrink ?fuel ?verify ?input ?(max_checks = 2_000) machine
+    (alloc : alloc_fn) prog =
+  (* Unless the caller pins the fuel, bound every candidate run by the
+     reference execution of the full program: an edit that creates a
+     runaway loop (straightening a loop exit, deleting an induction
+     increment) then traps in milliseconds instead of burning the
+     interpreter's huge default budget on every such candidate. *)
+  let fuel =
+    match fuel with
+    | Some f -> f
+    | None -> (
+      match
+        Interp.run machine prog ~input:(Option.value input ~default:"")
+      with
+      | Ok o -> max (20 * o.Interp.counts.Interp.total) 100_000
+      | Error _ -> 100_000)
+  in
+  let checks = ref 0 in
+  let still_fails p =
+    incr checks;
+    still_fails ~fuel ?verify ?input machine alloc p
+  in
+  let try_edit cur edit =
+    let cand = Program.copy cur in
+    match
+      edit cand;
+      Program.validate cand
+    with
+    | () -> if still_fails cand then Some cand else None
+    | exception Cfg.Malformed _ -> None
+    | exception Invalid_argument _ -> None
+  in
+  if not (still_fails prog) then prog
+  else begin
+    let cur = ref prog in
+    let progress = ref true in
+    while !progress && !checks < max_checks do
+      progress := false;
+      (* One pass over the edit list: re-derive it after every accepted
+         edit (indices shift) but resume the scan in place, so an edit
+         rejected earlier in the pass is not retried until the next
+         pass. *)
+      let i = ref 0 in
+      let scanning = ref true in
+      while !scanning && !checks < max_checks do
+        let es = edits !cur in
+        if !i >= List.length es then scanning := false
+        else
+          match try_edit !cur (List.nth es !i) with
+          | Some smaller ->
+            cur := smaller;
+            progress := true
+          | None -> incr i
+      done
+    done;
+    !cur
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Fuzzing                                                             *)
+
+type fuzz_report = {
+  seed : int;
+  machine_name : string;
+  algorithm : string;
+  divergence : divergence;
+  reproducer : string;
+}
+
+let pp_fuzz_report r =
+  Printf.sprintf
+    "seed %d on %s under %s: %s\nminimal reproducer:\n%s" r.seed
+    r.machine_name r.algorithm
+    (divergence_to_string r.divergence)
+    r.reproducer
+
+(* Parameters are derived from the seed so a fixed seed set covers a
+   spread of sizes, call densities and loop-carried pressure. *)
+let fuzz_params seed =
+  {
+    Lsra_workloads.Gen.default_params with
+    Lsra_workloads.Gen.seed;
+    n_funcs = 1 + (seed mod 3);
+    n_temps = 6 + (seed mod 13);
+    n_stmts = 6 + (seed mod 15);
+    max_depth = 2 + (seed mod 2);
+    carried = 1 + (seed mod 4);
+    ext_call_prob = 0.05 +. (0.02 *. float_of_int (seed mod 5));
+  }
+
+let default_fuzz_machines =
+  [
+    ("alpha", Machine.alpha_like);
+    ( "small-8",
+      Machine.small ~int_regs:8 ~float_regs:8 ~int_caller_saved:4
+        ~float_caller_saved:4 () );
+    ("tiny-4", Machine.small ~int_regs:4 ~float_regs:4 ());
+  ]
+
+let fuzz ?fuel ?(verify = true) ?(machines = default_fuzz_machines)
+    ?(algorithms = Lsra.Allocator.all) ?(log = ignore) ~seeds () =
+  let failures = ref [] in
+  List.iter
+    (fun seed ->
+      let params = fuzz_params seed in
+      List.iter
+        (fun (machine_name, machine) ->
+          let prog = Lsra_workloads.Gen.program ~params machine in
+          let input =
+            String.init 8 (fun i -> Char.chr (65 + ((seed + i) mod 26)))
+          in
+          List.iter
+            (fun algo ->
+              match check ?fuel ~verify ~input machine algo prog with
+              | Ok () -> ()
+              | Error d ->
+                let algorithm = Lsra.Allocator.short_name algo in
+                log
+                  (Printf.sprintf "seed %d on %s under %s: %s — shrinking"
+                     seed machine_name algorithm (divergence_to_string d));
+                let small =
+                  shrink ?fuel ~verify ~input machine (alloc_of algo) prog
+                in
+                let divergence =
+                  match
+                    check_with ?fuel ~verify ~input machine (alloc_of algo)
+                      small
+                  with
+                  | Error d' -> d'
+                  | Ok () -> d
+                in
+                failures :=
+                  {
+                    seed;
+                    machine_name;
+                    algorithm;
+                    divergence;
+                    reproducer = Lsra_text.Ir_text.to_string small;
+                  }
+                  :: !failures)
+            algorithms)
+        machines)
+    seeds;
+  List.rev !failures

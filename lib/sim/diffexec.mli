@@ -1,0 +1,118 @@
+(** Differential-execution oracle over the allocators.
+
+    The strongest correctness check available: interpret a program before
+    allocation and after, and compare every observable — the output
+    written through the [ext_put*] routines and the value returned from
+    [main]. The interpreter poisons caller-saved registers at calls and
+    traps on reads of undefined values, so convention violations and
+    lost spills surface as concrete divergences.
+
+    [check] / [check_all] apply the oracle to any {!Lsra.Allocator}
+    algorithm; {!fuzz} drives seeded random programs (from
+    {!Lsra_workloads.Gen}) through every allocator and shrinks failures
+    to minimal textual reproducers. *)
+
+open Lsra_ir
+open Lsra_target
+
+type divergence =
+  | Reference_trap of string
+      (** the pre-allocation program itself traps — an ill-defined input,
+          not an allocator bug *)
+  | Allocated_trap of string
+  | Output_mismatch of { expected : string; actual : string }
+  | Ret_mismatch of { expected : Value.t; actual : Value.t }
+  | Verifier_reject of Lsra.Verify.error
+      (** the abstract verifier rejected the allocation (only with
+          [~verify:true], the default) *)
+  | Allocator_raise of string
+
+val divergence_to_string : divergence -> string
+
+(** An in-place per-function allocator, as the test suites use. *)
+type alloc_fn = Machine.t -> Func.t -> unit
+
+val alloc_of : Lsra.Allocator.algorithm -> alloc_fn
+
+(** [check_with machine alloc prog] interprets [prog] (untouched — a copy
+    is allocated), allocates every function of the copy with [alloc],
+    optionally verifies each against its pre-allocation form
+    ([verify] defaults to [true]), re-interprets, and compares.
+    [input] feeds [ext_getc] on both runs. *)
+val check_with :
+  ?fuel:int ->
+  ?verify:bool ->
+  ?input:string ->
+  Machine.t ->
+  alloc_fn ->
+  Program.t ->
+  (unit, divergence) result
+
+(** {!check_with} over one of the four named allocators. *)
+val check :
+  ?fuel:int ->
+  ?verify:bool ->
+  ?input:string ->
+  Machine.t ->
+  Lsra.Allocator.algorithm ->
+  Program.t ->
+  (unit, divergence) result
+
+(** Run every algorithm (default {!Lsra.Allocator.all}); returns the
+    divergences found, tagged with the allocator's short name. *)
+val check_all :
+  ?fuel:int ->
+  ?verify:bool ->
+  ?input:string ->
+  ?algorithms:Lsra.Allocator.algorithm list ->
+  Machine.t ->
+  Program.t ->
+  (string * divergence) list
+
+(** Greedy delta-debugging of a failing program: repeatedly delete one
+    instruction or straighten one conditional branch, keeping an edit
+    only while the reference run stays well-defined {e and} the
+    divergence persists, until no single edit helps (or [max_checks]
+    candidates were evaluated, default 2000). Unless [fuel] is given,
+    each candidate's interpreter budget is derived from the reference
+    execution of the input, so edits that create runaway loops are
+    rejected quickly. Returns the input unchanged if it does not fail in
+    the first place. *)
+val shrink :
+  ?fuel:int ->
+  ?verify:bool ->
+  ?input:string ->
+  ?max_checks:int ->
+  Machine.t ->
+  alloc_fn ->
+  Program.t ->
+  Program.t
+
+type fuzz_report = {
+  seed : int;
+  machine_name : string;
+  algorithm : string;
+  divergence : divergence;
+  reproducer : string;  (** textual IR of the shrunk failing program *)
+}
+
+val pp_fuzz_report : fuzz_report -> string
+
+(** The generator parameters a given fuzz seed runs with. *)
+val fuzz_params : int -> Lsra_workloads.Gen.params
+
+val default_fuzz_machines : (string * Machine.t) list
+
+(** [fuzz ~seeds ()] generates one program per seed and machine, checks
+    it under every algorithm, and shrinks each failure. Deterministic:
+    the same seed set always exercises the same programs. [log] receives
+    one progress line per divergence found. *)
+val fuzz :
+  ?fuel:int ->
+  ?verify:bool ->
+  ?machines:(string * Machine.t) list ->
+  ?algorithms:Lsra.Allocator.algorithm list ->
+  ?log:(string -> unit) ->
+  seeds:int list ->
+  unit ->
+  fuzz_report list

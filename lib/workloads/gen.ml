@@ -17,6 +17,9 @@ type params = {
   n_stmts : int; (* top-level statements per function *)
   max_depth : int; (* nesting of ifs/loops *)
   call_prob : float;
+  ext_call_prob : float; (* observable ext_puti calls: clobber pressure *)
+  switch_prob : float; (* multi-way branch cascades *)
+  carried : int; (* loop-carried accumulators per carried loop *)
   float_frac : float;
 }
 
@@ -28,6 +31,9 @@ let default_params =
     n_stmts = 20;
     max_depth = 2;
     call_prob = 0.15;
+    ext_call_prob = 0.08;
+    switch_prob = 0.1;
+    carried = 3;
     float_frac = 0.3;
   }
 
@@ -105,15 +111,62 @@ let gen_call g =
       ~clobbers:(Machine.all_caller_saved g.machine);
     B.movet g.b (pick g g.ints) (Operand.reg (Machine.int_ret g.machine))
 
+(* An observable call: print a live temp through ext_puti. Anything the
+   allocator keeps in a caller-saved register across the call is poisoned
+   by the interpreter, and the printed value itself joins the program's
+   output — so this both raises call-clobber pressure and widens the
+   differential oracle beyond the final return value. *)
+let gen_ext_call g =
+  match Machine.int_args g.machine with
+  | [] ->
+    (* a machine with no parameter registers (the minimal test targets)
+       cannot pass the argument — fall back to plain arithmetic *)
+    gen_int_expr g (pick g g.ints)
+  | a0 :: _ ->
+    B.move g.b (Loc.Reg a0) (Operand.temp (pick g g.ints));
+    B.call g.b ~func:"ext_puti" ~args:[ a0 ]
+      ~rets:[ Machine.int_ret g.machine ]
+      ~clobbers:(Machine.all_caller_saved g.machine)
+
 let rec gen_stmt p g depth =
   let r = Random.State.float g.rng 1.0 in
   if r < p.call_prob then gen_call g
+  else if r < p.call_prob +. p.ext_call_prob then gen_ext_call g
+  else if r < p.call_prob +. p.ext_call_prob +. p.switch_prob
+          && depth < p.max_depth then gen_switch p g depth
   else if r < 0.65 || depth >= p.max_depth then
     if Array.length g.floats > 0 && Random.State.float g.rng 1.0 < p.float_frac
     then gen_float_expr g (pick g g.floats)
     else gen_int_expr g (pick g g.ints)
-  else if Random.State.bool g.rng then gen_if p g depth
-  else gen_loop p g depth
+  else
+    match Random.State.int g.rng 3 with
+    | 0 -> gen_if p g depth
+    | 1 -> gen_carried_loop p g depth
+    | _ -> gen_loop p g depth
+
+(* A multi-way cascade of conditional branches, all arms meeting at one
+   join: much branchier control flow than a single diamond, with several
+   CFG edges into the join for the resolution pass to repair. *)
+and gen_switch p g depth =
+  let arms = 2 + Random.State.int g.rng 3 in
+  let l_join = fresh_label g "sj" in
+  for _ = 1 to arms do
+    let l_case = fresh_label g "sc" in
+    let l_next = fresh_label g "sn" in
+    B.branch g.b
+      (pick g [| Instr.Lt; Instr.Ge; Instr.Eq; Instr.Ne |])
+      (Operand.temp (pick g g.ints))
+      (Operand.int (Random.State.int g.rng 32 - 16))
+      ~ifso:l_case ~ifnot:l_next;
+    B.start_block g.b l_case;
+    for _ = 1 to 1 + Random.State.int g.rng 2 do
+      gen_stmt p g (depth + 1)
+    done;
+    B.jump g.b l_join;
+    B.start_block g.b l_next
+  done;
+  B.jump g.b l_join;
+  B.start_block g.b l_join
 
 and gen_if p g depth =
   let l_then = fresh_label g "t" in
@@ -152,6 +205,43 @@ and gen_loop p g depth =
   B.bin g.b Instr.Add i (Operand.temp i) (Operand.int 1);
   B.jump g.b l_head;
   B.start_block g.b l_exit
+
+(* A loop with [carried] accumulators that are initialised before the
+   header, updated from each other every iteration, and consumed only
+   after the exit: each is live around the back edge for the whole loop,
+   so under pressure their values must survive iterations in spill slots
+   — exactly the loop-carried-spill pattern resolution must get right. *)
+and gen_carried_loop p g depth =
+  let n_acc = max 1 p.carried in
+  let accs = Array.init n_acc (fun _ -> B.temp g.b Rclass.Int) in
+  let i = B.temp g.b Rclass.Int in
+  let bound = 2 + Random.State.int g.rng 5 in
+  let l_head = fresh_label g "ch" in
+  let l_body = fresh_label g "cb" in
+  let l_exit = fresh_label g "cx" in
+  Array.iteri (fun k a -> B.li g.b a ((k * 13) + 3)) accs;
+  B.li g.b i 0;
+  B.start_block g.b l_head;
+  B.branch g.b Instr.Lt (Operand.temp i) (Operand.int bound) ~ifso:l_body
+    ~ifnot:l_exit;
+  B.start_block g.b l_body;
+  Array.iteri
+    (fun k a ->
+      B.bin g.b
+        (pick g [| Instr.Add; Instr.Sub; Instr.Xor |])
+        a (Operand.temp a)
+        (Operand.temp accs.((k + 1) mod n_acc)))
+    accs;
+  for _ = 1 to Random.State.int g.rng 3 do
+    gen_stmt p g (depth + 1)
+  done;
+  B.bin g.b Instr.Add i (Operand.temp i) (Operand.int 1);
+  B.jump g.b l_head;
+  B.start_block g.b l_exit;
+  let dst = pick g g.ints in
+  Array.iter
+    (fun a -> B.bin g.b Instr.Xor dst (Operand.temp dst) (Operand.temp a))
+    accs
 
 let gen_func params machine ~name ~callees rng =
   let b = B.create ~name in

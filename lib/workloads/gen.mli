@@ -14,6 +14,17 @@ type params = {
   n_stmts : int;  (** top-level statements per function *)
   max_depth : int;  (** nesting depth of ifs and loops *)
   call_prob : float;
+  ext_call_prob : float;
+      (** probability of an observable [ext_puti] call — raises
+          caller-saved clobber pressure and adds mid-run output the
+          differential oracle compares *)
+  switch_prob : float;
+      (** probability of a multi-way branch cascade (branchier CFGs with
+          many edges into one join) *)
+  carried : int;
+      (** accumulators per loop-carried loop: values live around the back
+          edge and consumed only after the exit, forcing loop-carried
+          spills under pressure *)
   float_frac : float;
 }
 

@@ -172,6 +172,135 @@ let test_error_message_mentions_site () =
     Alcotest.(check bool) "what is populated" true
       (String.length e.Lsra.Verify.what > 0)
 
+(* The intersection-meet case the verifier's header comment describes:
+   a value that survives a loop iteration in *different* locations on
+   different paths (a register on the even path, another register on the
+   odd path) while one location — its spill slot — is common to both.
+   Only the fixed-point meet-by-intersection keeps the slot fact alive
+   around the back edge; a single-pass or union-based checker would get
+   this wrong in one direction or the other. *)
+
+let loop_carried_original () =
+  let b = B.create ~name:"f" in
+  let x = B.temp b Rclass.Int ~name:"x" in
+  let i = B.temp b Rclass.Int ~name:"i" in
+  let p = B.temp b Rclass.Int ~name:"p" in
+  let a = B.temp b Rclass.Int ~name:"a" in
+  let c = B.temp b Rclass.Int ~name:"c" in
+  B.start_block b "entry";
+  B.li b x 7;
+  B.li b i 0;
+  B.jump b "head";
+  B.start_block b "head";
+  B.branch b Instr.Lt (Operand.temp i) (Operand.int 4) ~ifso:"body"
+    ~ifnot:"exit";
+  B.start_block b "body";
+  B.bin b Instr.And p (Operand.temp i) (Operand.int 1);
+  B.branch b Instr.Eq (Operand.temp p) (Operand.int 0) ~ifso:"even"
+    ~ifnot:"odd";
+  B.start_block b "even";
+  B.bin b Instr.Add a (Operand.temp x) (Operand.int 1);
+  B.jump b "latch";
+  B.start_block b "odd";
+  B.bin b Instr.Add c (Operand.temp x) (Operand.int 2);
+  B.jump b "latch";
+  B.start_block b "latch";
+  B.bin b Instr.Add i (Operand.temp i) (Operand.int 1);
+  B.jump b "head";
+  B.start_block b "exit";
+  B.move b (Loc.Reg (Machine.int_ret machine)) (Operand.temp x);
+  B.ret b;
+  (B.finish b, x, i, p, a, c)
+
+(* Hand allocation: i -> $r0 everywhere; x is defined into $r2 and
+   stored to slot 0 in the entry; the even path reloads it into $r2, the
+   odd path into $r3 (and overwrites $r2 with c), so at the loop head
+   the *only* location provably holding x is the slot. *)
+let loop_carried_allocated () =
+  let f, x, i, p, a, c = loop_carried_original () in
+  let allocated = Func.copy f in
+  let cfg = Func.cfg allocated in
+  let slot = Func.fresh_slot allocated in
+  let r k = Loc.Reg (Mreg.make ~cls:Rclass.Int k) in
+  let assign pairs (l : Loc.t) =
+    match l with
+    | Loc.Temp t -> (
+      match List.assq_opt (Temp.id t) pairs with
+      | Some reg -> reg
+      | None -> l)
+    | Loc.Reg _ -> l
+  in
+  let rw pairs instr =
+    Instr.rewrite ~use:(assign pairs) ~def:(assign pairs) instr
+  in
+  let store reg =
+    Instr.make
+      ~tag:(Instr.Spill { phase = Instr.Evict; kind = Instr.Spill_st })
+      (Instr.Spill_store { src = reg; slot })
+  in
+  let reload reg =
+    Instr.make
+      ~tag:(Instr.Spill { phase = Instr.Resolve; kind = Instr.Spill_ld })
+      (Instr.Spill_load { dst = reg; slot })
+  in
+  let id = Temp.id in
+  let blk label = Cfg.block cfg label in
+  (* entry: [li x; li i] becomes [li $r2; store $r2 -> slot; li $r0] *)
+  let entry = blk "entry" in
+  (match Block.body entry with
+  | [| li_x; li_i |] ->
+    Block.set_body entry
+      [| rw [ (id x, r 2) ] li_x; store (r 2); rw [ (id i, r 0) ] li_i |]
+  | _ -> Alcotest.fail "unexpected entry shape");
+  Block.rewrite_term (blk "head") ~use:(assign [ (id i, r 0) ]);
+  let body = blk "body" in
+  Block.set_body body
+    (Array.map (rw [ (id p, r 1); (id i, r 0) ]) (Block.body body));
+  Block.rewrite_term body ~use:(assign [ (id p, r 1) ]);
+  let even = blk "even" in
+  Block.set_body even
+    (Array.append [| reload (r 2) |]
+       (Array.map (rw [ (id a, r 1); (id x, r 2) ]) (Block.body even)));
+  let odd = blk "odd" in
+  Block.set_body odd
+    (Array.append [| reload (r 3) |]
+       (Array.map (rw [ (id c, r 2); (id x, r 3) ]) (Block.body odd)));
+  let latch = blk "latch" in
+  Block.set_body latch (Array.map (rw [ (id i, r 0) ]) (Block.body latch));
+  let exitb = blk "exit" in
+  Block.set_body exitb
+    (Array.append [| reload (r 3) |]
+       (Array.map (rw [ (id x, r 3) ]) (Block.body exitb)));
+  (f, allocated, slot)
+
+let test_accepts_loop_carried_spill_meet () =
+  let original, allocated, _slot = loop_carried_allocated () in
+  match Lsra.Verify.check machine ~original ~allocated with
+  | Ok () -> ()
+  | Error e ->
+    Alcotest.failf "rejected a correct loop-carried allocation: %s (%s/%s/%s)"
+      e.Lsra.Verify.what e.Lsra.Verify.fn e.Lsra.Verify.block
+      e.Lsra.Verify.where
+
+let test_rejects_loop_carried_slot_clobber () =
+  (* same allocation, but the odd path overwrites x's slot with i after
+     reloading: the meet at the head then holds x nowhere, and the exit
+     (and even-path) reloads must be rejected *)
+  let original, allocated, slot = loop_carried_allocated () in
+  let odd = Cfg.block (Func.cfg allocated) "odd" in
+  let clobber =
+    Instr.make
+      ~tag:(Instr.Spill { phase = Instr.Evict; kind = Instr.Spill_st })
+      (Instr.Spill_store { src = Loc.Reg (Mreg.make ~cls:Rclass.Int 0); slot })
+  in
+  Block.set_body odd (Array.append (Block.body odd) [| clobber |]);
+  match Lsra.Verify.check machine ~original ~allocated with
+  | Ok () -> Alcotest.fail "accepted a clobbered loop-carried spill slot"
+  | Error e ->
+    Alcotest.(check string) "function context" "f" e.Lsra.Verify.fn;
+    Alcotest.(check bool) "block context populated" true
+      (String.length e.Lsra.Verify.block > 0)
+
 let test_all_allocators_verify_on_workloads () =
   (* belt-and-braces: the verifier accepts all four allocators across the
      whole workload suite on a spill-heavy machine *)

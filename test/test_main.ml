@@ -17,6 +17,7 @@ let () =
       ("coloring-internals", Suite_coloring_internals.suite);
       ("baselines", Suite_baselines.suite);
       ("properties", Suite_props.suite);
+      ("diffexec", Suite_diffexec.suite);
       ("workloads", Suite_workloads.suite);
       ("text", Suite_text.suite);
     ]
