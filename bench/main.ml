@@ -558,6 +558,58 @@ let perfdump () =
 
 (* ------------------------------------------------------------------ *)
 
+(* With LSRA_FUZZ_ARTIFACT_DIR set, every divergence leaves durable
+   artifacts there: the shrunk reproducer as textual IR, plus the
+   diverging allocator's decision trace over that reproducer in both
+   renderings (so a CI failure can be diagnosed from the uploaded
+   artifacts alone, without re-running the seed). *)
+let write_fuzz_artifacts dir reports =
+  (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  let write path contents =
+    let oc = open_out path in
+    output_string oc contents;
+    close_out oc
+  in
+  List.iter
+    (fun r ->
+      let stem =
+        Printf.sprintf "%s/seed%d_%s_%s" dir r.Lsra_sim.Diffexec.seed
+          r.Lsra_sim.Diffexec.machine_name r.Lsra_sim.Diffexec.algorithm
+      in
+      write (stem ^ ".lsra") r.Lsra_sim.Diffexec.reproducer;
+      let m =
+        List.assoc_opt r.Lsra_sim.Diffexec.machine_name
+          Lsra_sim.Diffexec.default_fuzz_machines
+      in
+      let algo =
+        List.find_opt
+          (fun a ->
+            Lsra.Allocator.short_name a = r.Lsra_sim.Diffexec.algorithm)
+          Lsra.Allocator.all
+      in
+      match m, algo with
+      | Some m, Some algo -> (
+        try
+          let prog =
+            Lsra_text.Ir_text.of_string r.Lsra_sim.Diffexec.reproducer
+          in
+          let trace = Lsra.Trace.create () in
+          ignore (Lsra.Allocator.run_program ~trace algo m prog);
+          let events = Lsra.Trace.events trace in
+          write (stem ^ ".trace.txt") (Lsra.Trace.to_text events);
+          write (stem ^ ".trace.jsonl") (Lsra.Trace.to_jsonl events)
+        with e ->
+          (* e.g. the divergence is the allocator crashing: record that
+             instead of a trace *)
+          write (stem ^ ".trace.txt")
+            ("no trace: allocation failed with " ^ Printexc.to_string e ^ "\n"))
+      | _ ->
+        write (stem ^ ".trace.txt")
+          "no trace: unknown machine or allocator name\n")
+    reports;
+  Printf.printf "fuzz: wrote %d reproducer(s) + trace(s) under %s\n%!"
+    (List.length reports) dir
+
 (* Differential fuzz run: seeded random programs through every allocator
    on every fuzz machine, divergences shrunk to minimal reproducers.
    `fuzz [COUNT] [BASE]` checks seeds BASE..BASE+COUNT-1 (default 100
@@ -593,6 +645,9 @@ let fuzz () =
       print_newline ();
       print_endline (Lsra_sim.Diffexec.pp_fuzz_report r))
     reports;
+  (match Sys.getenv_opt "LSRA_FUZZ_ARTIFACT_DIR" with
+  | Some dir when reports <> [] -> write_fuzz_artifacts dir reports
+  | Some _ | None -> ());
   if reports <> [] then exit 1
 
 let () =

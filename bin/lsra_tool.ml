@@ -328,7 +328,7 @@ let diffcheck_cmd =
               (small7, corpus small7 ~scale);
             ]
         in
-        let checks = ref 0 and divergences = ref 0 in
+        let checks = ref 0 and behavioral = ref 0 and rejects = ref 0 in
         List.iter
           (fun (m, programs) ->
             let mname = Machine.name m in
@@ -342,7 +342,9 @@ let diffcheck_cmd =
                     with
                     | Ok () -> ()
                     | Error d ->
-                      incr divergences;
+                      (match d with
+                      | Lsra_sim.Diffexec.Verifier_reject _ -> incr rejects
+                      | _ -> incr behavioral);
                       Printf.eprintf "DIVERGENCE %s on %s under %s: %s\n%!"
                         pname mname
                         (Lsra.Allocator.short_name algo)
@@ -350,17 +352,83 @@ let diffcheck_cmd =
                   Lsra.Allocator.all)
               programs)
           jobs;
-        Printf.printf "diffcheck: %d checks, %d divergences\n" !checks
-          !divergences;
-        if !divergences > 0 then exit exit_divergence)
+        Printf.printf
+          "diffcheck: %d checks, %d divergences (%d verifier rejects)\n"
+          !checks
+          (!behavioral + !rejects)
+          !rejects;
+        (* Exit-code contract: behavioral divergences (wrong output, traps,
+           allocator exceptions, trace mismatches) dominate and exit 4; a
+           run whose only failures are abstract-verifier rejections exits
+           3, matching the [handle_errors] convention for Verify.Mismatch. *)
+        if !behavioral > 0 then exit exit_divergence
+        else if !rejects > 0 then exit exit_verify_failed)
   in
   Cmd.v
     (Cmd.info "diffcheck"
        ~doc:
          "Differential-execution oracle: run programs before and after \
           allocation under every allocator and compare all observable \
-          behaviour. Exits 4 on any divergence.")
+          behaviour (the allocation also runs under a decision trace whose \
+          replay must agree with the reported statistics). Exits 4 on any \
+          behavioral divergence, 3 when only the abstract verifier \
+          rejected.")
     Term.(const run $ file_arg $ machine_arg $ input_arg $ fuel_arg $ scale_arg)
+
+let trace_cmd =
+  let fn_arg =
+    Arg.(
+      value
+      & pos 1 (some string) None
+      & info [] ~docv:"FN"
+          ~doc:"Only print the trace of this function (default: all).")
+  in
+  let format_arg =
+    Arg.(
+      value
+      & opt (enum [ ("text", `Text); ("jsonl", `Jsonl) ]) `Text
+      & info [ "format" ] ~docv:"FORMAT"
+          ~doc:"Output format: $(b,text) (indented) or $(b,jsonl) (one JSON \
+                object per event).")
+  in
+  let run file fn machine algo format =
+    handle_errors (fun () ->
+        let prog = load file in
+        List.iter
+          (fun (_, f) -> Lsra.Precheck.run machine f)
+          (Program.funcs prog);
+        (match fn with
+        | Some n when not (List.mem_assoc n (Program.funcs prog)) ->
+          Printf.eprintf "no function named '%s' in %s\n" n file;
+          exit 1
+        | Some _ | None -> ());
+        (* No DCE: the trace describes the program exactly as written. *)
+        let t = Lsra.Trace.create () in
+        let stats = Lsra.Allocator.run_program ~trace:t algo machine prog in
+        let evs = Lsra.Trace.events t in
+        let shown =
+          match fn with None -> evs | Some n -> Lsra.Trace.filter_fn n evs
+        in
+        print_string
+          (match format with
+          | `Text -> Lsra.Trace.to_text shown
+          | `Jsonl -> Lsra.Trace.to_jsonl shown);
+        (* Self-check: the full stream must replay to the reported stats. *)
+        match Lsra.Trace.replay_check evs stats with
+        | Ok () -> ()
+        | Error e ->
+          Printf.eprintf "trace replay mismatch: %s\n" e;
+          exit 1)
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Register-allocate a program under a decision trace and print the \
+          event stream: interval starts and expiries, assignments with the \
+          rule that granted them, spill splits, second chances, eviction \
+          deliberations and resolution edge repairs. The stream is \
+          replay-checked against the allocator's statistics before exiting.")
+    Term.(const run $ file_arg $ fn_arg $ machine_arg $ algo_arg $ format_arg)
 
 let () =
   let default = Term.(ret (const (`Help (`Pager, None)))) in
@@ -380,4 +448,5 @@ let () =
             compile_cmd;
             exec_cmd;
             diffcheck_cmd;
+            trace_cmd;
           ]))

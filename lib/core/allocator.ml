@@ -26,20 +26,22 @@ let short_name = function
   | Poletto -> "poletto"
   | Graph_coloring -> "gc"
 
-let run algorithm machine func =
+let run ?trace algorithm machine func =
   match algorithm with
-  | Second_chance opts -> Second_chance.run ~opts machine func
-  | Two_pass -> Two_pass.run machine func
-  | Poletto -> Poletto.run machine func
-  | Graph_coloring -> Coloring.run machine func
+  | Second_chance opts -> Second_chance.run ~opts ?trace machine func
+  | Two_pass -> Two_pass.run ?trace machine func
+  | Poletto -> Poletto.run ?trace machine func
+  | Graph_coloring -> Coloring.run ?trace machine func
 
-let run_program ?jobs algorithm machine prog =
-  Parallel.fold_stats ?jobs prog (run algorithm machine)
+let run_program ?jobs ?trace algorithm machine prog =
+  (* A shared trace sink is not domain-safe: force sequential. *)
+  let jobs = if trace = None then jobs else Some 1 in
+  Parallel.fold_stats ?jobs prog (run ?trace algorithm machine)
 
 (* The paper's full pipeline: dead-code elimination, allocation, then the
    move-collapsing peephole pass (§3). *)
 let pipeline ?(precheck = false) ?(verify = false) ?(cleanup = false) ?jobs
-    algorithm machine prog =
+    ?trace algorithm machine prog =
   if precheck then
     List.iter (fun (_, f) -> Precheck.run machine f) (Program.funcs prog);
   let originals =
@@ -48,7 +50,7 @@ let pipeline ?(precheck = false) ?(verify = false) ?(cleanup = false) ?jobs
   in
   List.iter (fun (_, f) -> ignore (Lsra_analysis.Dce.run_to_fixpoint f))
     (Program.funcs prog);
-  let stats = run_program ?jobs algorithm machine prog in
+  let stats = run_program ?jobs ?trace algorithm machine prog in
   if verify then
     List.iter
       (fun (n, allocated) ->

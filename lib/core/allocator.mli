@@ -20,13 +20,20 @@ val all : algorithm list
 
 val name : algorithm -> string
 val short_name : algorithm -> string
-val run : algorithm -> Machine.t -> Func.t -> Stats.t
+
+(** Allocate one function. [trace] records every allocation decision into
+    the given sink (see {!Trace}); replaying the stream with
+    {!Trace.replay_check} against the returned stats turns any traced run
+    into a self-checking test. *)
+val run : ?trace:Trace.t -> algorithm -> Machine.t -> Func.t -> Stats.t
 
 (** Allocate every function of the program and return the merged stats.
     [jobs] fans the per-function allocations across that many domains via
     {!Parallel.fold_stats}; the default ([jobs <= 1]) is sequential, and
-    the allocated program is bit-identical either way. *)
-val run_program : ?jobs:int -> algorithm -> Machine.t -> Program.t -> Stats.t
+    the allocated program is bit-identical either way. A [trace] sink
+    forces sequential execution (the sink is shared mutable state). *)
+val run_program :
+  ?jobs:int -> ?trace:Trace.t -> algorithm -> Machine.t -> Program.t -> Stats.t
 
 (** [pipeline algorithm machine prog] mutates [prog] through
     DCE, allocation and the peephole cleanup, exactly the pass order the
@@ -35,12 +42,14 @@ val run_program : ?jobs:int -> algorithm -> Machine.t -> Program.t -> Stats.t
     [~cleanup:true] the {!Motion} spill cleanup (the paper's §2.4
     alternative) runs before the peephole pass; with [~precheck:true] the
     input is validated by {!Precheck} first. [jobs] parallelises the
-    allocation step as in {!run_program}. *)
+    allocation step as in {!run_program}; [trace] records the allocation
+    step's decisions (and forces it sequential). *)
 val pipeline :
   ?precheck:bool ->
   ?verify:bool ->
   ?cleanup:bool ->
   ?jobs:int ->
+  ?trace:Trace.t ->
   algorithm ->
   Machine.t ->
   Program.t ->

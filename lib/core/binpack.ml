@@ -28,6 +28,7 @@ type t = {
   slot_of : int option array;
   stats : Stats.t;
   opts : options;
+  trace : Trace.t option;
 }
 
 exception Out_of_registers of string
@@ -89,7 +90,17 @@ type state = {
   mutable emit_rev : Instr.t list; (* current block, reversed *)
   mutable cur_w : Bitset.t; (* WROTE_TR of the current block *)
   mutable cur_u : Bitset.t; (* USED_CONSISTENCY of the current block *)
+  tr : Trace.t option; (* decision-trace sink, [None] in production *)
+  started : bool array; (* per temp id: Start event already emitted *)
 }
+
+let emit st i = st.emit_rev <- i :: st.emit_rev
+
+let interval st id = Lifetime.interval_of_id st.res.lifetimes id
+
+let temp_of st id = Interval.temp (interval st id)
+
+let tname st id = Temp.to_string (temp_of st id)
 
 let get_slot st id =
   match st.res.slot_of.(id) with
@@ -97,13 +108,20 @@ let get_slot st id =
   | None ->
     let s = Func.fresh_slot st.res.func in
     st.res.slot_of.(id) <- Some s;
+    (match st.tr with
+    | None -> ()
+    | Some t -> Trace.emit t (Slot_alloc { temp = tname st id; id; slot = s }));
     s
 
-let emit st i = st.emit_rev <- i :: st.emit_rev
-
-let interval st id = Lifetime.interval_of_id st.res.lifetimes id
-
-let temp_of st id = Interval.temp (interval st id)
+(* First allocation decision for [id] in this scan. *)
+let mark_start st id ~pos =
+  match st.tr with
+  | None -> ()
+  | Some t ->
+    if not st.started.(id) then begin
+      st.started.(id) <- true;
+      Trace.emit t (Start { temp = tname st id; id; pos })
+    end
 
 (* Next reference of temp [id] at or after [pos]; advances the cursor. *)
 let next_ref st id ~pos =
@@ -149,6 +167,14 @@ let clear_occupant st ri =
     st.loc.(id) <- Some In_mem
   end
 
+(* Next reference of [id] at or after [pos] without moving the cursor;
+   only evaluated on the traced path. *)
+let peek_next_ref st id ~pos =
+  let itv = interval st id in
+  let c = Interval.next_ref_at itv ~cursor:st.cursor.(id) ~pos in
+  if c < Interval.n_refs itv then Some (Interval.ref_at itv c).Interval.rpos
+  else None
+
 (* Evict temp [id] from register flat index [ri], inserting a spill store
    before the current instruction when the value is live and stale. *)
 let evict st ri ~pos =
@@ -159,7 +185,13 @@ let evict st ri ~pos =
     if st.consistent.(id) then begin
       (* Second-chance consistency: skip the store, record the reliance if
          it is not locally established (paper §2.4). *)
-      if not (Bitset.mem st.cur_w id) then Bitset.add st.cur_u id
+      if not (Bitset.mem st.cur_w id) then Bitset.add st.cur_u id;
+      match st.tr with
+      | None -> ()
+      | Some t ->
+        Trace.emit t
+          (Store_elided
+             { temp = tname st id; id; pos; reg = reg_of_flat st ri })
     end
     else begin
       let slot = get_slot st id in
@@ -169,7 +201,20 @@ let evict st ri ~pos =
            (Instr.Spill_store { src = Loc.Reg (reg_of_flat st ri); slot }));
       st.res.stats.Stats.evict_stores <-
         st.res.stats.Stats.evict_stores + 1;
-      st.consistent.(id) <- true
+      st.consistent.(id) <- true;
+      match st.tr with
+      | None -> ()
+      | Some t ->
+        Trace.emit t
+          (Spill_split
+             {
+               temp = tname st id;
+               id;
+               pos;
+               reg = Some (reg_of_flat st ri);
+               slot;
+               next_ref = peek_next_ref st id ~pos;
+             })
     end
   end
   else
@@ -238,6 +283,7 @@ let assign_reg st id ~pos ~forbidden =
   (* 1. Free register whose hole covers the remaining lifetime: smallest
      sufficient hole (§2.2). *)
   let best = ref (-1) and best_he = ref max_int in
+  let why = ref Trace.Free_hole in
   for ri = lo to hi - 1 do
     if
       he.(ri) >= stop
@@ -262,7 +308,10 @@ let assign_reg st id ~pos ~forbidden =
         best_he := he.(ri)
       end
     done;
-    if !best >= 0 then evict st !best ~pos
+    if !best >= 0 then begin
+      why := Trace.Hole_evict;
+      evict st !best ~pos
+    end
   end;
   if !best < 0 then begin
     (* 3. No register can host the whole remaining lifetime for free.
@@ -294,11 +343,49 @@ let assign_reg st id ~pos ~forbidden =
         free_he := he.(ri)
       end
     done;
+    (match st.tr with
+    | None -> ()
+    | Some t ->
+      (* The full deliberation: every register still eligible at [pos],
+         with the §2.3 keep-benefit of its occupant. [benefit] is
+         idempotent at a fixed position, so re-evaluating it for the
+         trace cannot shift the decision. *)
+      let cands = ref [] in
+      for ri = hi - 1 downto lo do
+        if he.(ri) > min_int then
+          cands :=
+            {
+              Trace.c_reg = reg_of_flat st ri;
+              c_occupant =
+                (if st.occ_temp.(ri) >= 0 then Some (tname st st.occ_temp.(ri))
+                 else None);
+              c_benefit =
+                (if st.occ_temp.(ri) >= 0 then
+                   benefit st st.occ_temp.(ri) ~pos
+                 else Float.nan);
+              c_hole_end = (if he.(ri) = max_int - 1 then max_int else he.(ri));
+            }
+            :: !cands
+      done;
+      Trace.emit t
+        (Evict_choice
+           {
+             pos;
+             incoming = tname st id;
+             incoming_benefit = incoming;
+             candidates = !cands;
+           }));
     if !victim >= 0 && (!victim_b < incoming || !free < 0) then begin
+      why := Trace.Displace;
+      best_he := he.(!victim);
       evict st !victim ~pos;
       best := !victim
     end
-    else if !free >= 0 then best := !free
+    else if !free >= 0 then begin
+      why := Trace.Insufficient;
+      best_he := !free_he;
+      best := !free
+    end
     else begin
       (* Only insufficient-hole occupants remain: classic eviction of
          the lowest-priority one. *)
@@ -313,6 +400,8 @@ let assign_reg st id ~pos ~forbidden =
         end
       done;
       if !worst >= 0 then begin
+        why := Trace.Displace;
+        best_he := he.(!worst);
         evict st !worst ~pos;
         best := !worst
       end
@@ -320,6 +409,19 @@ let assign_reg st id ~pos ~forbidden =
   end;
   if !best >= 0 then begin
     set_occupant st !best id ~pos;
+    (match st.tr with
+    | None -> ()
+    | Some t ->
+      Trace.emit t
+        (Assign
+           {
+             temp = tname st id;
+             id;
+             pos;
+             reg = reg_of_flat st !best;
+             reason = !why;
+             hole_end = (if !best_he = max_int - 1 then max_int else !best_he);
+           }));
     !best
   end
   else
@@ -376,6 +478,18 @@ let convention_sweep st ~k =
                   }));
           st.res.stats.Stats.evict_moves <-
             st.res.stats.Stats.evict_moves + 1;
+          (match st.tr with
+          | None -> ()
+          | Some t ->
+            Trace.emit t
+              (Early_second_chance
+                 {
+                   temp = tname st id;
+                   id;
+                   pos;
+                   src = reg_of_flat st ri;
+                   dst = reg_of_flat st rj;
+                 }));
           st.occ_temp.(ri) <- -1;
           set_occupant st rj id ~pos;
           true
@@ -402,6 +516,7 @@ let use_temp st id ~k ~forbidden =
   match st.loc.(id) with
   | Some (In_reg r) -> flat_of_reg st r
   | Some In_mem | None ->
+    mark_start st id ~pos;
     let ri = assign_reg st id ~pos ~forbidden in
     let slot = get_slot st id in
     emit st
@@ -409,6 +524,18 @@ let use_temp st id ~k ~forbidden =
          ~tag:(Instr.Spill { phase = Instr.Evict; kind = Instr.Spill_ld })
          (Instr.Spill_load { dst = Loc.Reg (reg_of_flat st ri); slot }));
     st.res.stats.Stats.evict_loads <- st.res.stats.Stats.evict_loads + 1;
+    (match st.tr with
+    | None -> ()
+    | Some t ->
+      Trace.emit t
+        (Second_chance
+           {
+             temp = tname st id;
+             id;
+             pos;
+             reg = Some (reg_of_flat st ri);
+             slot;
+           }));
     st.consistent.(id) <- true;
     (* the reload writes t's register, so consistency is now established
        locally: later uses of A_t in this block do not depend on block
@@ -425,6 +552,13 @@ let def_temp st id ~k ~forbidden ~move_src =
     match st.loc.(id) with
     | Some (In_reg r) -> flat_of_reg st r
     | Some In_mem | None -> (
+      mark_start st id ~pos;
+      let miss why =
+        match st.tr with
+        | None -> ()
+        | Some t ->
+          Trace.emit t (Pref_miss { temp = tname st id; id; pos; why })
+      in
       let try_move_opt =
         (* The source register is naturally in [forbidden]; for a move it
            is precisely the register we want to reuse, so it is checked
@@ -438,12 +572,36 @@ let def_temp st id ~k ~forbidden ~move_src =
                     ~pos rs ->
           let itv = interval st id in
           let stop = if Interval.is_empty itv then pos else Interval.stop itv in
-          if hole_end st rs pos >= stop then Some rs else None
-        | Some _ | None -> None
+          if hole_end st rs pos >= stop then Some rs
+          else begin
+            miss "source register's availability hole too small";
+            None
+          end
+        | Some _ ->
+          miss
+            (if not st.res.opts.move_opt then "move optimisation disabled"
+             else "source register occupied or convention-blocked");
+          None
+        | None -> None
       in
       match try_move_opt with
       | Some rs ->
         set_occupant st rs id ~pos;
+        (match st.tr with
+        | None -> ()
+        | Some t ->
+          Trace.emit t
+            (Assign
+               {
+                 temp = tname st id;
+                 id;
+                 pos;
+                 reg = reg_of_flat st rs;
+                 reason = Trace.Move_pref;
+                 hole_end =
+                   (let e = hole_end st rs pos in
+                    if e = max_int - 1 then max_int else e);
+               }));
         rs
       | None -> assign_reg st id ~pos ~forbidden)
   in
@@ -460,6 +618,12 @@ let release_dead st ~pos =
       let id = st.occ_temp.(ri) in
       if id >= 0 then
         if st.occ_stop.(ri) <= pos then begin
+          (match st.tr with
+          | None -> ()
+          | Some t ->
+            Trace.emit t
+              (Expire
+                 { temp = tname st id; id; pos; reg = reg_of_flat st ri }));
           st.occ_temp.(ri) <- -1;
           st.loc.(id) <- Some In_mem;
           st.consistent.(id) <- false
@@ -469,9 +633,13 @@ let release_dead st ~pos =
     st.dead_at <- !m
   end
 
-let scan ?(opts = default_options) machine func =
+let scan ?(opts = default_options) ?trace machine func =
   let regidx = Regidx.create machine in
   let stats = Stats.create () in
+  (match trace with
+  | None -> ()
+  | Some t ->
+    Trace.emit t (Fn { name = Func.name func; slots0 = Func.n_slots func }));
   let liveness = Stats.timed stats Stats.Liveness (fun () -> Liveness.compute func) in
   let lifetimes =
     Stats.timed stats Stats.Lifetime (fun () ->
@@ -496,6 +664,7 @@ let scan ?(opts = default_options) machine func =
       slot_of = Array.make ntemps None;
       stats;
       opts;
+      trace;
     }
   in
   let st =
@@ -514,6 +683,8 @@ let scan ?(opts = default_options) machine func =
       emit_rev = [];
       cur_w = Bitset.create ntemps;
       cur_u = Bitset.create ntemps;
+      tr = trace;
+      started = Array.make ntemps false;
     }
   in
   let linear = Lifetime.linear lifetimes in
@@ -523,6 +694,9 @@ let scan ?(opts = default_options) machine func =
   for bi = 0 to nb - 1 do
     let b = blocks.(bi) in
     let label = Block.label b in
+    (match st.tr with
+    | None -> ()
+    | Some t -> Trace.emit t (Block { label }));
     st.emit_rev <- [];
     st.cur_w <- res.wrote_tr.(bi);
     st.cur_u <- res.used_consistency.(bi);

@@ -47,11 +47,17 @@ type t = {
   slot_of : int option array;
   stats : Stats.t;
   opts : options;
+  trace : Trace.t option;
+      (** the sink the scan recorded into, for {!Resolution.run} to
+          continue the same function's section *)
 }
 
 exception Out_of_registers of string
 
 (** Run the allocate-and-rewrite scan, mutating [func]'s block bodies and
-    terminators. Raises {!Out_of_registers} only when a single instruction
-    references more distinct locations than the machine has registers. *)
-val scan : ?opts:options -> Machine.t -> Func.t -> t
+    terminators. When [trace] is given, every allocation decision is
+    recorded into it (see {!Trace}); with it absent the scan pays only a
+    pointer test per decision. Raises {!Out_of_registers} only when a
+    single instruction references more distinct locations than the machine
+    has registers. *)
+val scan : ?opts:options -> ?trace:Trace.t -> Machine.t -> Func.t -> t

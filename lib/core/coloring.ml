@@ -410,8 +410,9 @@ let make_worklist ctx =
 (* Insert spill code for the chosen nodes: a fresh temp per reference,
    loaded before uses and stored after defs (these fragments are marked
    unspillable; they are live only within one block). *)
-let rewrite_spills ctx spilled =
+let rewrite_spills ~trace ctx spilled =
   let func = ctx.func in
+  let tr ev = match trace with None -> () | Some sink -> Trace.emit sink ev in
   let slot_of = Hashtbl.create 8 in
   (* Spill-generated fragments that failed to color are left alone: once
      the longer-lived nodes spilled in this round shorten the competing
@@ -426,7 +427,16 @@ let rewrite_spills ctx spilled =
          "only spill-generated fragments failed to color; register file \
           too small for the instruction set");
   List.iter
-    (fun n -> Hashtbl.replace slot_of (n - ctx.temp_base) (Func.fresh_slot func))
+    (fun n ->
+      let id = n - ctx.temp_base in
+      let slot = Func.fresh_slot func in
+      Hashtbl.replace slot_of id slot;
+      let temp =
+        match ctx.class_temps.(id) with
+        | Some t -> Temp.to_string t
+        | None -> Printf.sprintf "#%d" id
+      in
+      tr (Trace.Slot_alloc { temp; id; slot }))
     real;
   let fresh_no_spill = ref [] in
   let spill_tag kind = Instr.Spill { phase = Instr.Evict; kind } in
@@ -446,6 +456,15 @@ let rewrite_spills ctx spilled =
                 (Instr.Spill_load { dst = Loc.Temp nt; slot })
               :: !loads;
             ctx.stats.Stats.evict_loads <- ctx.stats.Stats.evict_loads + 1;
+            tr
+              (Trace.Second_chance
+                 {
+                   temp = Temp.to_string t;
+                   id = Temp.id t;
+                   pos = -1;
+                   reg = None;
+                   slot;
+                 });
             Loc.Temp nt
           | Loc.Temp _ | Loc.Reg _ -> l
         in
@@ -460,6 +479,16 @@ let rewrite_spills ctx spilled =
                 (Instr.Spill_store { src = Loc.Temp nt; slot })
               :: !stores;
             ctx.stats.Stats.evict_stores <- ctx.stats.Stats.evict_stores + 1;
+            tr
+              (Trace.Spill_split
+                 {
+                   temp = Temp.to_string t;
+                   id = Temp.id t;
+                   pos = -1;
+                   reg = None;
+                   slot;
+                   next_ref = None;
+                 });
             Loc.Temp nt
           | Loc.Temp _ | Loc.Reg _ -> l
         in
@@ -485,13 +514,43 @@ let rewrite_spills ctx spilled =
                      (Instr.Spill_load { dst = Loc.Temp nt; slot });
                  |]);
             ctx.stats.Stats.evict_loads <- ctx.stats.Stats.evict_loads + 1;
+            tr
+              (Trace.Second_chance
+                 {
+                   temp = Temp.to_string t;
+                   id = Temp.id t;
+                   pos = -1;
+                   reg = None;
+                   slot;
+                 });
             Loc.Temp nt
           | Loc.Temp _ | Loc.Reg _ -> l))
     (Func.cfg func);
   !fresh_no_spill
 
 (* Apply the computed coloring to every operand of this class. *)
-let apply_colors ctx =
+let apply_colors ~trace ctx =
+  (match trace with
+  | None -> ()
+  | Some sink ->
+    Array.iteri
+      (fun id slot ->
+        match slot with
+        | None -> ()
+        | Some t ->
+          let c = ctx.color.(get_alias ctx (ctx.temp_base + id)) in
+          if c >= 0 then
+            Trace.emit sink
+              (Trace.Assign
+                 {
+                   temp = Temp.to_string t;
+                   id;
+                   pos = -1;
+                   reg = Mreg.make ~cls:ctx.cls c;
+                   reason = Trace.Color;
+                   hole_end = max_int;
+                 }))
+      ctx.class_temps);
   let map (l : Loc.t) =
     match l with
     | Loc.Temp t when Rclass.equal (Temp.cls t) ctx.cls ->
@@ -510,7 +569,7 @@ let apply_colors ctx =
       Block.rewrite_term b ~use:map)
     (Func.cfg ctx.func)
 
-let allocate_class machine func cls stats no_spill_seed =
+let allocate_class ?trace machine func cls stats no_spill_seed =
   let max_rounds = 48 in
   let rec round no_spill_ids iter =
     if iter > max_rounds then
@@ -584,21 +643,28 @@ let allocate_class machine func cls stats no_spill_seed =
     work ();
     assign_colors ctx;
     match ctx.spilled_nodes with
-    | [] -> apply_colors ctx
+    | [] -> apply_colors ~trace ctx
     | spilled ->
-      let fresh = rewrite_spills ctx spilled in
+      let fresh = rewrite_spills ~trace ctx spilled in
       round (fresh @ no_spill_ids) (iter + 1)
   in
   round no_spill_seed 1
 
-let run machine func =
+let run ?trace machine func =
   let t0 = Sys.time () in
+  (match trace with
+  | None -> ()
+  | Some sink ->
+    Trace.emit sink
+      (Trace.Fn { name = Func.name func; slots0 = Func.n_slots func }));
   let stats = Stats.create () in
-  allocate_class machine func Rclass.Int stats [];
-  allocate_class machine func Rclass.Float stats [];
+  allocate_class ?trace machine func Rclass.Int stats [];
+  allocate_class ?trace machine func Rclass.Float stats [];
   stats.Stats.slots <- Func.n_slots func;
   stats.Stats.alloc_time <- Sys.time () -. t0;
   stats
 
-let run_program ?jobs machine prog =
-  Parallel.fold_stats ?jobs prog (run machine)
+let run_program ?jobs ?trace machine prog =
+  (* A shared trace sink is not domain-safe: force sequential. *)
+  let jobs = if trace = None then jobs else Some 1 in
+  Parallel.fold_stats ?jobs prog (run ?trace machine)

@@ -22,11 +22,12 @@ type t = {
   assignment : Mreg.t option array;
   slot_of : int option array;
   stats : Stats.t;
+  trace : Trace.t option;
 }
 
 let convex_span itv = (Interval.start itv, Interval.stop itv)
 
-let allocate machine func =
+let allocate ?trace machine func =
   let regidx = Regidx.create machine in
   let liveness = Liveness.compute func in
   let loops = Loop.compute (Func.cfg func) in
@@ -40,8 +41,13 @@ let allocate machine func =
       assignment = Array.make ntemps None;
       slot_of = Array.make ntemps None;
       stats = Stats.create ();
+      trace;
     }
   in
+  let tname id =
+    Temp.to_string (Interval.temp (Lifetime.interval_of_id lifetimes id))
+  in
+  let tr ev = match trace with None -> () | Some sink -> Trace.emit sink ev in
   List.iter
     (fun cls ->
       let all = Regidx.of_cls regidx cls in
@@ -74,7 +80,9 @@ let allocate machine func =
       in
       let spill id =
         t.assignment.(id) <- None;
-        t.slot_of.(id) <- Some (Func.fresh_slot func)
+        let s = Func.fresh_slot func in
+        t.slot_of.(id) <- Some s;
+        tr (Trace.Slot_alloc { temp = tname id; id; slot = s })
       in
       List.iter
         (fun id ->
@@ -92,6 +100,16 @@ let allocate machine func =
           match free with
           | ri :: _ ->
             t.assignment.(id) <- Some (Regidx.to_reg regidx ri);
+            tr
+              (Trace.Assign
+                 {
+                   temp = tname id;
+                   id;
+                   pos = s;
+                   reg = Regidx.to_reg regidx ri;
+                   reason = Trace.Whole;
+                   hole_end = max_int;
+                 });
             active :=
               List.merge
                 (fun (a, _, _) (b, _, _) -> Int.compare a b)
@@ -106,6 +124,16 @@ let allocate machine func =
               active :=
                 List.filter (fun (_, i, _) -> i <> id') !active;
               t.assignment.(id) <- Some (Regidx.to_reg regidx ri');
+              tr
+                (Trace.Assign
+                   {
+                     temp = tname id;
+                     id;
+                     pos = s;
+                     reg = Regidx.to_reg regidx ri';
+                     reason = Trace.Whole;
+                     hole_end = max_int;
+                   });
               active :=
                 List.merge
                   (fun (a, _, _) (b, _, _) -> Int.compare a b)
@@ -121,6 +149,11 @@ let rewrite t =
   let regidx = t.regidx in
   let machine = Regidx.machine regidx in
   let stats = t.stats in
+  let lifetimes = t.lifetimes in
+  let tname id =
+    Temp.to_string (Interval.temp (Lifetime.interval_of_id lifetimes id))
+  in
+  let tr ev = match t.trace with None -> () | Some sink -> Trace.emit sink ev in
   let spill_tag kind = Instr.Spill { phase = Instr.Evict; kind } in
   let reserved cls n =
     let all = Machine.regs machine cls in
@@ -133,6 +166,7 @@ let rewrite t =
     | None ->
       let s = Func.fresh_slot func in
       t.slot_of.(id) <- Some s;
+      tr (Trace.Slot_alloc { temp = tname id; id; slot = s });
       s
   in
   Cfg.iter_blocks
@@ -152,11 +186,15 @@ let rewrite t =
             | None ->
               let r = reserved (Temp.cls tp) !counter in
               incr counter;
+              let sl = slot id in
               loads :=
                 Instr.make ~tag:(spill_tag Instr.Spill_ld)
-                  (Instr.Spill_load { dst = Loc.Reg r; slot = slot id })
+                  (Instr.Spill_load { dst = Loc.Reg r; slot = sl })
                 :: !loads;
               stats.Stats.evict_loads <- stats.Stats.evict_loads + 1;
+              tr
+                (Trace.Second_chance
+                   { temp = tname id; id; pos = -1; reg = Some r; slot = sl });
               Loc.Reg r)
         in
         let def (l : Loc.t) =
@@ -169,11 +207,22 @@ let rewrite t =
             | None ->
               let r = reserved (Temp.cls tp) !counter in
               incr counter;
+              let sl = slot id in
               stores :=
                 Instr.make ~tag:(spill_tag Instr.Spill_st)
-                  (Instr.Spill_store { src = Loc.Reg r; slot = slot id })
+                  (Instr.Spill_store { src = Loc.Reg r; slot = sl })
                 :: !stores;
               stats.Stats.evict_stores <- stats.Stats.evict_stores + 1;
+              tr
+                (Trace.Spill_split
+                   {
+                     temp = tname id;
+                     id;
+                     pos = -1;
+                     reg = Some r;
+                     slot = sl;
+                     next_ref = None;
+                   });
               Loc.Reg r)
         in
         let i' = Instr.rewrite ~use ~def i in
@@ -193,21 +242,32 @@ let rewrite t =
             | None ->
               let r = reserved (Temp.cls tp) !counter in
               incr counter;
+              let sl = slot id in
               emit
                 (Instr.make ~tag:(spill_tag Instr.Spill_ld)
-                   (Instr.Spill_load { dst = Loc.Reg r; slot = slot id }));
+                   (Instr.Spill_load { dst = Loc.Reg r; slot = sl }));
               stats.Stats.evict_loads <- stats.Stats.evict_loads + 1;
+              tr
+                (Trace.Second_chance
+                   { temp = tname id; id; pos = -1; reg = Some r; slot = sl });
               Loc.Reg r));
       Block.set_body b (Array.of_list (List.rev !out)))
     (Func.cfg func);
   stats.Stats.slots <- Func.n_slots func
 
-let run machine func =
+let run ?trace machine func =
   let t0 = Sys.time () in
-  let t = allocate machine func in
+  (match trace with
+  | None -> ()
+  | Some sink ->
+    Trace.emit sink
+      (Trace.Fn { name = Func.name func; slots0 = Func.n_slots func }));
+  let t = allocate ?trace machine func in
   rewrite t;
   t.stats.Stats.alloc_time <- Sys.time () -. t0;
   t.stats
 
-let run_program ?jobs machine prog =
-  Parallel.fold_stats ?jobs prog (run machine)
+let run_program ?jobs ?trace machine prog =
+  (* A shared trace sink is not domain-safe: force sequential. *)
+  let jobs = if trace = None then jobs else Some 1 in
+  Parallel.fold_stats ?jobs prog (run ?trace machine)

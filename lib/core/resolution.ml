@@ -25,10 +25,12 @@ let move_instr dst src =
    locations are injective over live temps), so blocked configurations are
    pure register cycles; we break them with a scratch register when one is
    free across the edge, falling back to the temp's spill slot. *)
-let sequentialize (res : Binpack.t) ~get_slot ~scratch_for (ops : wop list) =
+let sequentialize (res : Binpack.t) ~trace ~tname ~get_slot ~scratch_for
+    (ops : wop list) =
   let stats = res.Binpack.stats in
   let out = ref [] in
   let emit i = out := i :: !out in
+  let tr ev = match trace with None -> () | Some t -> Trace.emit t ev in
   let pending = ref ops in
   while !pending <> [] do
     let blockers =
@@ -48,10 +50,22 @@ let sequentialize (res : Binpack.t) ~get_slot ~scratch_for (ops : wop list) =
           match w.src with
           | `Reg r ->
             emit (move_instr w.dst r);
-            stats.Stats.resolve_moves <- stats.Stats.resolve_moves + 1
+            stats.Stats.resolve_moves <- stats.Stats.resolve_moves + 1;
+            tr
+              (Trace.Resolve_move
+                 {
+                   temp = tname w.temp_id;
+                   id = w.temp_id;
+                   dst = w.dst;
+                   src = r;
+                   cycle = false;
+                 })
           | `Slot s ->
             emit (load_instr w.dst s);
-            stats.Stats.resolve_loads <- stats.Stats.resolve_loads + 1)
+            stats.Stats.resolve_loads <- stats.Stats.resolve_loads + 1;
+            tr
+              (Trace.Resolve_load
+                 { temp = tname w.temp_id; id = w.temp_id; reg = w.dst; slot = s }))
         ready;
       pending := stuck
     | [] -> (
@@ -66,6 +80,15 @@ let sequentialize (res : Binpack.t) ~get_slot ~scratch_for (ops : wop list) =
         | Some scratch ->
           emit (move_instr scratch v);
           stats.Stats.resolve_moves <- stats.Stats.resolve_moves + 1;
+          tr
+            (Trace.Resolve_move
+               {
+                 temp = tname w0.temp_id;
+                 id = w0.temp_id;
+                 dst = scratch;
+                 src = v;
+                 cycle = true;
+               });
           pending :=
             List.map
               (fun w ->
@@ -77,6 +100,15 @@ let sequentialize (res : Binpack.t) ~get_slot ~scratch_for (ops : wop list) =
           let slot = get_slot w0.temp_id in
           emit (store_instr v slot);
           stats.Stats.resolve_stores <- stats.Stats.resolve_stores + 1;
+          tr
+            (Trace.Resolve_store
+               {
+                 temp = tname w0.temp_id;
+                 id = w0.temp_id;
+                 reg = v;
+                 slot;
+                 cycle = true;
+               });
           pending :=
             List.map
               (fun w ->
@@ -87,7 +119,9 @@ let sequentialize (res : Binpack.t) ~get_slot ~scratch_for (ops : wop list) =
   done;
   List.rev !out
 
-let run (res : Binpack.t) =
+let run ?trace (res : Binpack.t) =
+  let trace = match trace with Some _ as t -> t | None -> res.Binpack.trace in
+  let tr ev = match trace with None -> () | Some t -> Trace.emit t ev in
   let func = res.Binpack.func in
   let cfg = Func.cfg func in
   let stats = res.Binpack.stats in
@@ -95,12 +129,17 @@ let run (res : Binpack.t) =
   let bi l = Cfg.block_index cfg l in
   let preds = Cfg.preds_table cfg in
   let edges = Cfg.edges cfg in
+  let tname id =
+    Temp.to_string
+      (Interval.temp (Lifetime.interval_of_id res.Binpack.lifetimes id))
+  in
   let get_slot id =
     match res.Binpack.slot_of.(id) with
     | Some s -> s
     | None ->
       let s = Func.fresh_slot func in
       res.Binpack.slot_of.(id) <- Some s;
+      tr (Trace.Slot_alloc { temp = tname id; id; slot = s });
       s
   in
   let loc_bottom p id =
@@ -201,11 +240,16 @@ let run (res : Binpack.t) =
   List.iter
     (fun ((p, s), (stores, writes)) ->
       if stores <> [] || writes <> [] then begin
+        tr (Trace.Edge { src = p; dst = s });
         let store_instrs =
           List.map
             (fun (rp, id) ->
               stats.Stats.resolve_stores <- stats.Stats.resolve_stores + 1;
-              store_instr rp (get_slot id))
+              let slot = get_slot id in
+              tr
+                (Trace.Resolve_store
+                   { temp = tname id; id; reg = rp; slot; cycle = false });
+              store_instr rp slot)
             stores
         in
         (* Registers holding live values across this edge must not be used
@@ -232,7 +276,7 @@ let run (res : Binpack.t) =
             (Regidx.of_cls ridx cls)
         in
         let write_instrs =
-          sequentialize res ~get_slot ~scratch_for writes
+          sequentialize res ~trace ~tname ~get_slot ~scratch_for writes
         in
         let instrs = store_instrs @ write_instrs in
         (* Placement (paper §2.4 footnote): top of a single-predecessor

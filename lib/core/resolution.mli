@@ -5,5 +5,9 @@
     where suppressed spill stores must be reinstated. *)
 
 (** Mutates the scanned function; resolution instructions carry the
-    [Resolve] spill tag and are counted into the scan's {!Stats.t}. *)
-val run : Binpack.t -> unit
+    [Resolve] spill tag and are counted into the scan's {!Stats.t}.
+    Edge repairs are recorded into [trace] (default: the sink the scan
+    used, so a traced scan's section continues seamlessly) in emission
+    order — an {!Trace.Edge} event followed by its repair code in
+    parallel-move order. *)
+val run : ?trace:Trace.t -> Binpack.t -> unit

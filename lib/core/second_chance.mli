@@ -6,10 +6,19 @@ open Lsra_ir
 open Lsra_target
 
 (** Allocate one function in place; every temporary location is rewritten
-    to a machine register and spill code carries provenance tags. *)
-val run : ?opts:Binpack.options -> Machine.t -> Func.t -> Stats.t
+    to a machine register and spill code carries provenance tags. A
+    [trace] sink records the scan's and the resolution phase's decisions
+    as one event stream (see {!Trace}). *)
+val run :
+  ?opts:Binpack.options -> ?trace:Trace.t -> Machine.t -> Func.t -> Stats.t
 
 (** Allocate every function of a program; returns accumulated stats.
-    [jobs] fans functions across domains via {!Parallel.fold_stats}. *)
+    [jobs] fans functions across domains via {!Parallel.fold_stats}; a
+    [trace] sink forces sequential execution regardless of [jobs]. *)
 val run_program :
-  ?opts:Binpack.options -> ?jobs:int -> Machine.t -> Program.t -> Stats.t
+  ?opts:Binpack.options ->
+  ?jobs:int ->
+  ?trace:Trace.t ->
+  Machine.t ->
+  Program.t ->
+  Stats.t

@@ -1,0 +1,471 @@
+open Lsra_ir
+
+type reason =
+  | Free_hole
+  | Hole_evict
+  | Displace
+  | Insufficient
+  | Move_pref
+  | Whole
+  | Point
+  | Color
+
+let reason_to_string = function
+  | Free_hole -> "free-hole"
+  | Hole_evict -> "hole-evict"
+  | Displace -> "displace"
+  | Insufficient -> "insufficient-hole"
+  | Move_pref -> "move-pref"
+  | Whole -> "whole"
+  | Point -> "point"
+  | Color -> "color"
+
+type candidate = {
+  c_reg : Mreg.t;
+  c_occupant : string option;
+  c_benefit : float;
+  c_hole_end : int;
+}
+
+type event =
+  | Fn of { name : string; slots0 : int }
+  | Block of { label : string }
+  | Start of { temp : string; id : int; pos : int }
+  | Assign of {
+      temp : string;
+      id : int;
+      pos : int;
+      reg : Mreg.t;
+      reason : reason;
+      hole_end : int;
+    }
+  | Evict_choice of {
+      pos : int;
+      incoming : string;
+      incoming_benefit : float;
+      candidates : candidate list;
+    }
+  | Spill_split of {
+      temp : string;
+      id : int;
+      pos : int;
+      reg : Mreg.t option;
+      slot : int;
+      next_ref : int option;
+    }
+  | Store_elided of { temp : string; id : int; pos : int; reg : Mreg.t }
+  | Second_chance of {
+      temp : string;
+      id : int;
+      pos : int;
+      reg : Mreg.t option;
+      slot : int;
+    }
+  | Early_second_chance of {
+      temp : string;
+      id : int;
+      pos : int;
+      src : Mreg.t;
+      dst : Mreg.t;
+    }
+  | Pref_miss of { temp : string; id : int; pos : int; why : string }
+  | Expire of { temp : string; id : int; pos : int; reg : Mreg.t }
+  | Slot_alloc of { temp : string; id : int; slot : int }
+  | Edge of { src : string; dst : string }
+  | Resolve_store of {
+      temp : string;
+      id : int;
+      reg : Mreg.t;
+      slot : int;
+      cycle : bool;
+    }
+  | Resolve_load of { temp : string; id : int; reg : Mreg.t; slot : int }
+  | Resolve_move of {
+      temp : string;
+      id : int;
+      dst : Mreg.t;
+      src : Mreg.t;
+      cycle : bool;
+    }
+
+type t = { mutable rev : event list; mutable n : int }
+
+let create () = { rev = []; n = 0 }
+
+let emit t ev =
+  t.rev <- ev :: t.rev;
+  t.n <- t.n + 1
+
+let events t = List.rev t.rev
+let count t = t.n
+
+let filter_fn name evs =
+  let keep = ref false in
+  List.filter
+    (fun ev ->
+      (match ev with Fn { name = n; _ } -> keep := String.equal n name | _ -> ());
+      !keep)
+    evs
+
+(* ------------------------------------------------------------------ *)
+(* Text rendering                                                      *)
+
+let hole_end_str e = if e = max_int then "inf" else string_of_int e
+
+let benefit_str b =
+  if Float.is_nan b then "-" else Printf.sprintf "%.3g" b
+
+let reg_opt_str = function None -> "-" | Some r -> Mreg.to_string r
+
+let text_of_event buf ev =
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  (match ev with
+  | Fn { name; slots0 } -> add "fn %s slots0=%d" name slots0
+  | Block { label } -> add "  block %s" label
+  | Start { temp; id; pos } -> add "    @%-4d start    %s#%d" pos temp id
+  | Assign { temp; id; pos; reg; reason; hole_end } ->
+      add "    @%-4d assign   %s#%d := %s (%s, hole-end=%s)" pos temp id
+        (Mreg.to_string reg) (reason_to_string reason)
+        (hole_end_str hole_end)
+  | Evict_choice { pos; incoming; incoming_benefit; candidates } ->
+      add "    @%-4d evict?   incoming %s benefit=%s" pos incoming
+        (benefit_str incoming_benefit);
+      List.iter
+        (fun c ->
+          add "\n                | %s %s benefit=%s hole-end=%s"
+            (Mreg.to_string c.c_reg)
+            (match c.c_occupant with None -> "free" | Some t -> "occ=" ^ t)
+            (benefit_str c.c_benefit)
+            (hole_end_str c.c_hole_end))
+        candidates
+  | Spill_split { temp; id; pos; reg; slot; next_ref } ->
+      add "    @%-4d split    %s#%d %s -> slot%d next-ref=%s" pos temp id
+        (reg_opt_str reg) slot
+        (match next_ref with None -> "none" | Some p -> "@" ^ string_of_int p)
+  | Store_elided { temp; id; pos; reg } ->
+      add "    @%-4d no-store %s#%d %s consistent" pos temp id
+        (Mreg.to_string reg)
+  | Second_chance { temp; id; pos; reg; slot } ->
+      add "    @%-4d reload   %s#%d slot%d -> %s (second chance)" pos temp id
+        slot (reg_opt_str reg)
+  | Early_second_chance { temp; id; pos; src; dst } ->
+      add "    @%-4d esc      %s#%d %s -> %s (move, not store)" pos temp id
+        (Mreg.to_string src) (Mreg.to_string dst)
+  | Pref_miss { temp; id; pos; why } ->
+      add "    @%-4d pref-miss %s#%d: %s" pos temp id why
+  | Expire { temp; id; pos; reg } ->
+      add "    @%-4d expire   %s#%d frees %s" pos temp id (Mreg.to_string reg)
+  | Slot_alloc { temp; id; slot } -> add "    slot-alloc %s#%d -> slot%d" temp id slot
+  | Edge { src; dst } -> add "  edge %s -> %s" src dst
+  | Resolve_store { temp; id; reg; slot; cycle } ->
+      add "    store %s -> slot%d (%s#%d)%s" (Mreg.to_string reg) slot temp id
+        (if cycle then " [cycle-break]" else "")
+  | Resolve_load { temp; id; reg; slot } ->
+      add "    load  slot%d -> %s (%s#%d)" slot (Mreg.to_string reg) temp id
+  | Resolve_move { temp; id; dst; src; cycle } ->
+      add "    move  %s -> %s (%s#%d)%s" (Mreg.to_string src)
+        (Mreg.to_string dst) temp id
+        (if cycle then " [cycle-break]" else ""));
+  Buffer.add_char buf '\n'
+
+let to_text evs =
+  let buf = Buffer.create 4096 in
+  List.iter (text_of_event buf) evs;
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* JSONL rendering                                                     *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+type jfield = S of string | I of int | B of bool | F of float | Null | L of string list
+
+let json_obj fields =
+  let buf = Buffer.create 128 in
+  Buffer.add_char buf '{';
+  List.iteri
+    (fun i (k, v) ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf (Printf.sprintf "\"%s\":" (json_escape k));
+      match v with
+      | S s -> Buffer.add_string buf (Printf.sprintf "\"%s\"" (json_escape s))
+      | I n -> Buffer.add_string buf (string_of_int n)
+      | B b -> Buffer.add_string buf (if b then "true" else "false")
+      | F f ->
+          Buffer.add_string buf
+            (if Float.is_nan f then "null" else Printf.sprintf "%.17g" f)
+      | Null -> Buffer.add_string buf "null"
+      | L objs ->
+          Buffer.add_char buf '[';
+          List.iteri
+            (fun j o ->
+              if j > 0 then Buffer.add_char buf ',';
+              Buffer.add_string buf o)
+            objs;
+          Buffer.add_char buf ']')
+    fields;
+  Buffer.add_char buf '}';
+  Buffer.contents buf
+
+let json_of_event ev =
+  let reg r = S (Mreg.to_string r) in
+  let reg_opt = function None -> Null | Some r -> reg r in
+  let int_opt = function None -> Null | Some n -> I n in
+  match ev with
+  | Fn { name; slots0 } -> json_obj [ ("ev", S "fn"); ("name", S name); ("slots0", I slots0) ]
+  | Block { label } -> json_obj [ ("ev", S "block"); ("label", S label) ]
+  | Start { temp; id; pos } ->
+      json_obj [ ("ev", S "start"); ("temp", S temp); ("id", I id); ("pos", I pos) ]
+  | Assign { temp; id; pos; reg = r; reason; hole_end } ->
+      json_obj
+        [
+          ("ev", S "assign"); ("temp", S temp); ("id", I id); ("pos", I pos);
+          ("reg", reg r); ("reason", S (reason_to_string reason));
+          ("hole_end", if hole_end = max_int then Null else I hole_end);
+        ]
+  | Evict_choice { pos; incoming; incoming_benefit; candidates } ->
+      json_obj
+        [
+          ("ev", S "evict_choice"); ("pos", I pos); ("incoming", S incoming);
+          ("incoming_benefit", F incoming_benefit);
+          ( "candidates",
+            L
+              (List.map
+                 (fun c ->
+                   json_obj
+                     [
+                       ("reg", reg c.c_reg);
+                       ( "occupant",
+                         match c.c_occupant with None -> Null | Some t -> S t );
+                       ("benefit", F c.c_benefit);
+                       ( "hole_end",
+                         if c.c_hole_end = max_int then Null else I c.c_hole_end
+                       );
+                     ])
+                 candidates) );
+        ]
+  | Spill_split { temp; id; pos; reg = r; slot; next_ref } ->
+      json_obj
+        [
+          ("ev", S "spill_split"); ("temp", S temp); ("id", I id);
+          ("pos", I pos); ("reg", reg_opt r); ("slot", I slot);
+          ("next_ref", int_opt next_ref);
+        ]
+  | Store_elided { temp; id; pos; reg = r } ->
+      json_obj
+        [
+          ("ev", S "store_elided"); ("temp", S temp); ("id", I id);
+          ("pos", I pos); ("reg", reg r);
+        ]
+  | Second_chance { temp; id; pos; reg = r; slot } ->
+      json_obj
+        [
+          ("ev", S "second_chance"); ("temp", S temp); ("id", I id);
+          ("pos", I pos); ("reg", reg_opt r); ("slot", I slot);
+        ]
+  | Early_second_chance { temp; id; pos; src; dst } ->
+      json_obj
+        [
+          ("ev", S "early_second_chance"); ("temp", S temp); ("id", I id);
+          ("pos", I pos); ("src", reg src); ("dst", reg dst);
+        ]
+  | Pref_miss { temp; id; pos; why } ->
+      json_obj
+        [
+          ("ev", S "pref_miss"); ("temp", S temp); ("id", I id); ("pos", I pos);
+          ("why", S why);
+        ]
+  | Expire { temp; id; pos; reg = r } ->
+      json_obj
+        [
+          ("ev", S "expire"); ("temp", S temp); ("id", I id); ("pos", I pos);
+          ("reg", reg r);
+        ]
+  | Slot_alloc { temp; id; slot } ->
+      json_obj
+        [ ("ev", S "slot_alloc"); ("temp", S temp); ("id", I id); ("slot", I slot) ]
+  | Edge { src; dst } -> json_obj [ ("ev", S "edge"); ("src", S src); ("dst", S dst) ]
+  | Resolve_store { temp; id; reg = r; slot; cycle } ->
+      json_obj
+        [
+          ("ev", S "resolve_store"); ("temp", S temp); ("id", I id);
+          ("reg", reg r); ("slot", I slot); ("cycle", B cycle);
+        ]
+  | Resolve_load { temp; id; reg = r; slot } ->
+      json_obj
+        [
+          ("ev", S "resolve_load"); ("temp", S temp); ("id", I id);
+          ("reg", reg r); ("slot", I slot);
+        ]
+  | Resolve_move { temp; id; dst; src; cycle } ->
+      json_obj
+        [
+          ("ev", S "resolve_move"); ("temp", S temp); ("id", I id);
+          ("dst", reg dst); ("src", reg src); ("cycle", B cycle);
+        ]
+
+let to_jsonl evs =
+  let buf = Buffer.create 4096 in
+  List.iter
+    (fun ev ->
+      Buffer.add_string buf (json_of_event ev);
+      Buffer.add_char buf '\n')
+    evs;
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Replay                                                              *)
+
+type replayed = {
+  r_evict_loads : int;
+  r_evict_stores : int;
+  r_evict_moves : int;
+  r_resolve_loads : int;
+  r_resolve_stores : int;
+  r_resolve_moves : int;
+  r_slots : int;
+}
+
+let replay evs =
+  let el = ref 0 and es = ref 0 and em = ref 0 in
+  let rl = ref 0 and rs = ref 0 and rm = ref 0 in
+  let slots = ref 0 in
+  List.iter
+    (fun ev ->
+      match ev with
+      | Fn { slots0; _ } -> slots := !slots + slots0
+      | Slot_alloc _ -> incr slots
+      | Second_chance _ -> incr el
+      | Spill_split _ -> incr es
+      | Early_second_chance _ -> incr em
+      | Resolve_load _ -> incr rl
+      | Resolve_store _ -> incr rs
+      | Resolve_move _ -> incr rm
+      | _ -> ())
+    evs;
+  {
+    r_evict_loads = !el;
+    r_evict_stores = !es;
+    r_evict_moves = !em;
+    r_resolve_loads = !rl;
+    r_resolve_stores = !rs;
+    r_resolve_moves = !rm;
+    r_slots = !slots;
+  }
+
+let replay_check evs (stats : Stats.t) =
+  let r = replay evs in
+  let errs = ref [] in
+  let chk name replayed reported =
+    if replayed <> reported then
+      errs := Printf.sprintf "%s: trace replays %d, Stats reports %d" name replayed reported :: !errs
+  in
+  chk "evict_loads" r.r_evict_loads stats.evict_loads;
+  chk "evict_stores" r.r_evict_stores stats.evict_stores;
+  chk "evict_moves" r.r_evict_moves stats.evict_moves;
+  chk "resolve_loads" r.r_resolve_loads stats.resolve_loads;
+  chk "resolve_stores" r.r_resolve_stores stats.resolve_stores;
+  chk "resolve_moves" r.r_resolve_moves stats.resolve_moves;
+  chk "slots" r.r_slots stats.slots;
+  match !errs with
+  | [] -> Ok ()
+  | es -> Error (String.concat "; " (List.rev es))
+
+(* ------------------------------------------------------------------ *)
+(* Well-formedness                                                     *)
+
+let well_formed ?(strict = false) evs =
+  let err = ref None in
+  let fail fmt = Printf.ksprintf (fun s -> if !err = None then err := Some s) fmt in
+  (* Per-Fn-section state; temp ids restart at 0 in each function. *)
+  let in_fn = ref false in
+  let known_slots = Hashtbl.create 16 in
+  let expired = Hashtbl.create 16 in
+  (* id -> pending split position, for the "no double split without an
+     intervening assignment or reload" and the "every known-next-ref split
+     is followed by a second chance" rules. *)
+  let pending_split = Hashtbl.create 16 in
+  let reset_section () =
+    Hashtbl.reset known_slots;
+    Hashtbl.reset expired;
+    Hashtbl.reset pending_split
+  in
+  let end_section fname =
+    if strict then
+      Hashtbl.iter
+        (fun id pos ->
+          fail "fn %s: temp #%d split at @%d with a known next reference but never reloaded or reassigned"
+            fname id pos)
+        pending_split
+  in
+  let cur_fn = ref "" in
+  let require_fn what = if not !in_fn then fail "%s before any fn event" what in
+  let require_slot what slot =
+    require_fn what;
+    if !in_fn && not (Hashtbl.mem known_slots slot) then
+      fail "fn %s: %s references slot%d before its slot_alloc" !cur_fn what slot
+  in
+  let alive what id =
+    if strict && Hashtbl.mem expired id then
+      fail "fn %s: %s of temp #%d after its expire" !cur_fn what id
+  in
+  List.iter
+    (fun ev ->
+      match ev with
+      | Fn { name; slots0 } ->
+          if !in_fn then end_section !cur_fn;
+          reset_section ();
+          in_fn := true;
+          cur_fn := name;
+          for s = 0 to slots0 - 1 do
+            Hashtbl.replace known_slots s ()
+          done
+      | Block _ | Edge _ | Evict_choice _ | Pref_miss _ | Store_elided _ ->
+          require_fn "event"
+      | Start { id; _ } ->
+          require_fn "start";
+          alive "start" id
+      | Assign { id; _ } ->
+          require_fn "assign";
+          alive "assign" id;
+          Hashtbl.remove pending_split id
+      | Spill_split { id; pos; slot; next_ref; _ } ->
+          require_slot "spill_split" slot;
+          alive "spill_split" id;
+          if strict && Hashtbl.mem pending_split id then
+            fail "fn %s: temp #%d split twice (at @%d and @%d) with no reload or reassignment between"
+              !cur_fn id (Hashtbl.find pending_split id) pos;
+          if next_ref <> None then Hashtbl.replace pending_split id pos
+      | Second_chance { id; slot; _ } ->
+          require_slot "second_chance" slot;
+          alive "second_chance" id;
+          Hashtbl.remove pending_split id
+      | Early_second_chance { id; _ } -> alive "early_second_chance" id
+      | Expire { id; _ } ->
+          require_fn "expire";
+          Hashtbl.replace expired id ();
+          Hashtbl.remove pending_split id
+      | Slot_alloc { slot; _ } ->
+          require_fn "slot_alloc";
+          if Hashtbl.mem known_slots slot then
+            fail "fn %s: slot%d allocated twice" !cur_fn slot;
+          Hashtbl.replace known_slots slot ()
+      | Resolve_store { slot; _ } -> require_slot "resolve_store" slot
+      | Resolve_load { slot; _ } -> require_slot "resolve_load" slot
+      | Resolve_move _ -> require_fn "resolve_move")
+    evs;
+  if !in_fn then end_section !cur_fn;
+  match !err with None -> Ok () | Some e -> Error e

@@ -69,6 +69,7 @@ type t = {
   point_reg : (int * int, Mreg.t) Hashtbl.t; (* (temp, pos) -> register *)
   slot_of : int option array;
   stats : Stats.t;
+  trace : Trace.t option;
 }
 
 let priority itv =
@@ -82,7 +83,7 @@ let priority itv =
   in
   w /. len
 
-let allocate machine func =
+let allocate ?trace machine func =
   let regidx = Regidx.create machine in
   let liveness = Liveness.compute func in
   let loops = Loop.compute (Func.cfg func) in
@@ -104,8 +105,13 @@ let allocate machine func =
       point_reg = Hashtbl.create 16;
       slot_of = Array.make ntemps None;
       stats = Stats.create ();
+      trace;
     }
   in
+  let tname id =
+    Temp.to_string (Interval.temp (Lifetime.interval_of_id lifetimes id))
+  in
+  let tr ev = match trace with None -> () | Some t -> Trace.emit t ev in
   (* Worklist ordered by start position; spilling inserts point items. *)
   let module Q = Set.Make (struct
     type nonrec t = int * int * item (* start, tiebreak, item *)
@@ -128,7 +134,10 @@ let allocate machine func =
     t.assignment.(Temp.id (Interval.temp (Lifetime.interval_of_id lifetimes id))) <- None;
     (match t.slot_of.(id) with
     | Some _ -> ()
-    | None -> t.slot_of.(id) <- Some (Func.fresh_slot func));
+    | None ->
+      let s = Func.fresh_slot func in
+      t.slot_of.(id) <- Some s;
+      tr (Trace.Slot_alloc { temp = tname id; id; slot = s }));
     List.iter
       (fun r ->
         match r.Interval.rkind with
@@ -168,7 +177,17 @@ let allocate machine func =
       match try_fit segs cand with
       | Some ri ->
         insert_segs regs.(ri) segs ~owner:(Owned id);
-        t.assignment.(id) <- Some (Regidx.to_reg regidx ri)
+        t.assignment.(id) <- Some (Regidx.to_reg regidx ri);
+        tr
+          (Trace.Assign
+             {
+               temp = tname id;
+               id;
+               pos = Interval.start itv;
+               reg = Regidx.to_reg regidx ri;
+               reason = Trace.Whole;
+               hole_end = max_int;
+             })
       | None ->
         (* Traditional first-come-first-served binpacking: a candidate
            that fits nowhere lives in memory for its whole lifetime; the
@@ -183,7 +202,17 @@ let allocate machine func =
       match try_fit segs cand with
       | Some ri ->
         insert_segs regs.(ri) segs ~owner:Pointed;
-        Hashtbl.replace t.point_reg (id, pos) (Regidx.to_reg regidx ri)
+        Hashtbl.replace t.point_reg (id, pos) (Regidx.to_reg regidx ri);
+        tr
+          (Trace.Assign
+             {
+               temp = tname id;
+               id;
+               pos;
+               reg = Regidx.to_reg regidx ri;
+               reason = Trace.Point;
+               hole_end = max_int;
+             })
       | None -> (
         (* Free a register by sending one whole-lifetime occupant to
            memory. *)
@@ -232,12 +261,17 @@ let rewrite t =
   let lifetimes = t.lifetimes in
   let linear = Lifetime.linear lifetimes in
   let stats = t.stats in
+  let tname id =
+    Temp.to_string (Interval.temp (Lifetime.interval_of_id lifetimes id))
+  in
+  let tr ev = match t.trace with None -> () | Some sink -> Trace.emit sink ev in
   let slot id =
     match t.slot_of.(id) with
     | Some s -> s
     | None ->
       let s = Func.fresh_slot func in
       t.slot_of.(id) <- Some s;
+      tr (Trace.Slot_alloc { temp = tname id; id; slot = s });
       s
   in
   let spill_tag kind = Instr.Spill { phase = Instr.Evict; kind } in
@@ -263,11 +297,15 @@ let rewrite t =
                 | Some r -> r
                 | None -> raise (Out_of_registers "missing point register")
               in
+              let sl = slot id in
               loads :=
                 Instr.make ~tag:(spill_tag Instr.Spill_ld)
-                  (Instr.Spill_load { dst = Loc.Reg r; slot = slot id })
+                  (Instr.Spill_load { dst = Loc.Reg r; slot = sl })
                 :: !loads;
               stats.Stats.evict_loads <- stats.Stats.evict_loads + 1;
+              tr
+                (Trace.Second_chance
+                   { temp = tname id; id; pos; reg = Some r; slot = sl });
               Loc.Reg r)
         in
         let def (l : Loc.t) =
@@ -284,11 +322,22 @@ let rewrite t =
                 | Some r -> r
                 | None -> raise (Out_of_registers "missing point register")
               in
+              let sl = slot id in
               stores :=
                 Instr.make ~tag:(spill_tag Instr.Spill_st)
-                  (Instr.Spill_store { src = Loc.Reg r; slot = slot id })
+                  (Instr.Spill_store { src = Loc.Reg r; slot = sl })
                 :: !stores;
               stats.Stats.evict_stores <- stats.Stats.evict_stores + 1;
+              tr
+                (Trace.Spill_split
+                   {
+                     temp = tname id;
+                     id;
+                     pos;
+                     reg = Some r;
+                     slot = sl;
+                     next_ref = None;
+                   });
               Loc.Reg r)
         in
         let i' = Instr.rewrite ~use ~def i in
@@ -314,21 +363,32 @@ let rewrite t =
                 | Some r -> r
                 | None -> raise (Out_of_registers "missing point register")
               in
+              let sl = slot id in
               emit
                 (Instr.make ~tag:(spill_tag Instr.Spill_ld)
-                   (Instr.Spill_load { dst = Loc.Reg r; slot = slot id }));
+                   (Instr.Spill_load { dst = Loc.Reg r; slot = sl }));
               stats.Stats.evict_loads <- stats.Stats.evict_loads + 1;
+              tr
+                (Trace.Second_chance
+                   { temp = tname id; id; pos; reg = Some r; slot = sl });
               Loc.Reg r));
       Block.set_body b (Array.of_list (List.rev !out)))
     blocks;
   stats.Stats.slots <- Func.n_slots func
 
-let run machine func =
+let run ?trace machine func =
   let t0 = Sys.time () in
-  let t = allocate machine func in
+  (match trace with
+  | None -> ()
+  | Some sink ->
+    Trace.emit sink
+      (Trace.Fn { name = Func.name func; slots0 = Func.n_slots func }));
+  let t = allocate ?trace machine func in
   rewrite t;
   t.stats.Stats.alloc_time <- Sys.time () -. t0;
   t.stats
 
-let run_program ?jobs machine prog =
-  Parallel.fold_stats ?jobs prog (run machine)
+let run_program ?jobs ?trace machine prog =
+  (* A shared trace sink is not domain-safe: force sequential. *)
+  let jobs = if trace = None then jobs else Some 1 in
+  Parallel.fold_stats ?jobs prog (run ?trace machine)

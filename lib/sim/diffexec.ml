@@ -20,6 +20,7 @@ type divergence =
   | Ret_mismatch of { expected : Value.t; actual : Value.t }
   | Verifier_reject of Lsra.Verify.error
   | Allocator_raise of string
+  | Trace_mismatch of string
 
 let divergence_to_string = function
   | Reference_trap e -> Printf.sprintf "pre-allocation program traps: %s" e
@@ -34,12 +35,38 @@ let divergence_to_string = function
       e.Lsra.Verify.fn e.Lsra.Verify.block e.Lsra.Verify.where
       e.Lsra.Verify.what
   | Allocator_raise e -> Printf.sprintf "allocator raised: %s" e
+  | Trace_mismatch e -> Printf.sprintf "decision-trace mismatch: %s" e
 
 type alloc_fn = Machine.t -> Func.t -> unit
 
 let alloc_of algo machine func = ignore (Lsra.Allocator.run algo machine func)
 
 exception Stop of divergence
+
+(* Allocate under a decision trace and replay-check the stream against
+   the reported stats, so every differential check is also a trace
+   consistency check. Raises [Stop (Trace_mismatch _)]. *)
+let traced_alloc_of algo machine func =
+  let t = Lsra.Trace.create () in
+  let stats = Lsra.Allocator.run ~trace:t algo machine func in
+  let evs = Lsra.Trace.events t in
+  let ctx what e =
+    Printf.sprintf "%s under %s in '%s': %s" what
+      (Lsra.Allocator.short_name algo) (Func.name func) e
+  in
+  (match Lsra.Trace.replay_check evs stats with
+  | Ok () -> ()
+  | Error e -> raise (Stop (Trace_mismatch (ctx "replay" e))));
+  let strict =
+    match algo with
+    | Lsra.Allocator.Second_chance _ -> true
+    | Lsra.Allocator.Two_pass | Lsra.Allocator.Poletto
+    | Lsra.Allocator.Graph_coloring ->
+      false
+  in
+  match Lsra.Trace.well_formed ~strict evs with
+  | Ok () -> ()
+  | Error e -> raise (Stop (Trace_mismatch (ctx "event stream" e)))
 
 let check_with ?(fuel = 200_000_000) ?(verify = true) ?(input = "") machine
     (alloc : alloc_fn) prog =
@@ -51,8 +78,9 @@ let check_with ?(fuel = 200_000_000) ?(verify = true) ?(input = "") machine
       List.iter
         (fun (_, f) ->
           let original = if verify then Some (Func.copy f) else None in
-          (try alloc machine f
-           with e -> raise (Stop (Allocator_raise (Printexc.to_string e))));
+          (try alloc machine f with
+          | Stop _ as stop -> raise stop
+          | e -> raise (Stop (Allocator_raise (Printexc.to_string e))));
           match original with
           | None -> ()
           | Some original -> (
@@ -77,8 +105,9 @@ let check_with ?(fuel = 200_000_000) ?(verify = true) ?(input = "") machine
         else Ok ()
     with Stop d -> Error d)
 
-let check ?fuel ?verify ?input machine algo prog =
-  check_with ?fuel ?verify ?input machine (alloc_of algo) prog
+let check ?fuel ?verify ?input ?(trace_check = true) machine algo prog =
+  let alloc = if trace_check then traced_alloc_of algo else alloc_of algo in
+  check_with ?fuel ?verify ?input machine alloc prog
 
 let check_all ?fuel ?verify ?input ?(algorithms = Lsra.Allocator.all) machine
     prog =
@@ -263,14 +292,12 @@ let fuzz ?fuel ?(verify = true) ?(machines = default_fuzz_machines)
                 log
                   (Printf.sprintf "seed %d on %s under %s: %s — shrinking"
                      seed machine_name algorithm (divergence_to_string d));
-                let small =
-                  shrink ?fuel ~verify ~input machine (alloc_of algo) prog
-                in
+                (* Shrink under the traced allocator so trace-mismatch
+                   divergences keep reproducing while the program shrinks. *)
+                let alloc = traced_alloc_of algo in
+                let small = shrink ?fuel ~verify ~input machine alloc prog in
                 let divergence =
-                  match
-                    check_with ?fuel ~verify ~input machine (alloc_of algo)
-                      small
-                  with
+                  match check_with ?fuel ~verify ~input machine alloc small with
                   | Error d' -> d'
                   | Ok () -> d
                 in

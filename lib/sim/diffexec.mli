@@ -26,6 +26,10 @@ type divergence =
       (** the abstract verifier rejected the allocation (only with
           [~verify:true], the default) *)
   | Allocator_raise of string
+  | Trace_mismatch of string
+      (** the decision trace disagrees with the allocator's own [Stats]
+          counters, or the event stream is malformed — the allocator's
+          accounting and its actions have drifted apart *)
 
 val divergence_to_string : divergence -> string
 
@@ -33,6 +37,12 @@ val divergence_to_string : divergence -> string
 type alloc_fn = Machine.t -> Func.t -> unit
 
 val alloc_of : Lsra.Allocator.algorithm -> alloc_fn
+
+(** Like {!alloc_of}, but allocates under a decision trace and checks
+    the stream with {!Lsra.Trace.replay_check} and
+    {!Lsra.Trace.well_formed} ([~strict] for second-chance binpacking);
+    a disagreement surfaces as a [Trace_mismatch] divergence. *)
+val traced_alloc_of : Lsra.Allocator.algorithm -> alloc_fn
 
 (** [check_with machine alloc prog] interprets [prog] (untouched — a copy
     is allocated), allocates every function of the copy with [alloc],
@@ -48,11 +58,15 @@ val check_with :
   Program.t ->
   (unit, divergence) result
 
-(** {!check_with} over one of the four named allocators. *)
+(** {!check_with} over one of the four named allocators. With
+    [trace_check] (the default) the allocation runs under a decision
+    trace whose replay must agree with the reported stats, so every
+    differential check is also a trace consistency check. *)
 val check :
   ?fuel:int ->
   ?verify:bool ->
   ?input:string ->
+  ?trace_check:bool ->
   Machine.t ->
   Lsra.Allocator.algorithm ->
   Program.t ->

@@ -1,0 +1,36 @@
+(* Golden decision traces: the second-chance allocator's full decision
+   stream for three representative functions, diffed against the
+   committed expectation by the runtest rule in this directory.  Any
+   change to the allocator's decisions shows up as a readable trace
+   diff; after reviewing it, refresh the expectation with
+
+     dune promote test/golden/traces.expected
+*)
+
+open Lsra_target
+module Trace = Lsra.Trace
+
+let print_trace header machine prog ~fn =
+  let trace = Trace.create () in
+  ignore
+    (Lsra.Allocator.run_program ~trace Lsra.Allocator.default_second_chance
+       machine prog);
+  Printf.printf "==== %s ====\n" header;
+  print_string (Trace.to_text (Trace.filter_fn fn (Trace.events trace)))
+
+let () =
+  (match Lsra_workloads.Specbench.find Machine.alpha_like ~scale:1 "wc" with
+  | None -> assert false
+  | Some case ->
+    print_trace "specbench wc, main, alpha-like" Machine.alpha_like
+      case.Lsra_workloads.Specbench.program ~fn:"main");
+  let mini name mname machine source =
+    let prog = Lsra_frontend.Minilang.compile machine source in
+    print_trace (Printf.sprintf "minilang %s, main, %s" name mname) machine
+      prog ~fn:"main"
+  in
+  mini "collatz" "small-4" (Machine.small ()) Lsra_workloads.Mini_corpus.collatz;
+  (* matmul's helpers take two parameters, which the frontend only
+     lowers on machines with enough argument registers *)
+  mini "matmul" "alpha-like" Machine.alpha_like
+    Lsra_workloads.Mini_corpus.matmul

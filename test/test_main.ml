@@ -20,4 +20,5 @@ let () =
       ("diffexec", Suite_diffexec.suite);
       ("workloads", Suite_workloads.suite);
       ("text", Suite_text.suite);
+      ("trace", Suite_trace.suite);
     ]
