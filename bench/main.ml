@@ -313,7 +313,10 @@ let ablation () =
       in
       let cleaned =
         let prog = Program.copy case.Lsra_workloads.Specbench.program in
-        ignore (Lsra.Allocator.pipeline ~cleanup:true binpack machine prog);
+        ignore
+          (Lsra.Allocator.pipeline
+             ~passes:[ Lsra.Passes.Dce; Lsra.Passes.Motion; Lsra.Passes.Peephole ]
+             binpack machine prog);
         match
           Lsra_sim.Interp.run machine prog
             ~input:case.Lsra_workloads.Specbench.input
@@ -396,16 +399,22 @@ let frames () =
   List.iter
     (fun (case : Lsra_workloads.Specbench.case) ->
       let prog = Program.copy case.Lsra_workloads.Specbench.program in
-      ignore (Lsra.Allocator.pipeline binpack m prog);
-      let before =
+      (* Slots as a managed pipeline pass; its savings surface in the
+         returned stats' [frame_saved]. *)
+      let stats =
+        Lsra.Allocator.pipeline
+          ~passes:(Lsra.Passes.Slots :: Lsra.Passes.default)
+          binpack m prog
+      in
+      let after =
         List.fold_left (fun acc (_, f) -> acc + Func.n_slots f) 0
           (Program.funcs prog)
       in
-      let saved = Lsra.Slots.run_program prog in
-      if before > 0 then
+      let saved = stats.Lsra.Stats.frame_saved in
+      if after + saved > 0 then
         Printf.printf "%-12s %10d %10d %10d
 "
-          case.Lsra_workloads.Specbench.name before (before - saved) saved)
+          case.Lsra_workloads.Specbench.name (after + saved) after saved)
     (Lsra_workloads.Specbench.all m ~scale:1);
   hrule 60;
   print_newline ()

@@ -79,6 +79,37 @@ let jobs_arg =
           "Allocate functions on $(docv) domains in parallel (0 picks a \
            count for this host). The output is identical to -j 1.")
 
+let passes_conv =
+  let parse s =
+    match Lsra.Passes.parse s with Ok ps -> Ok ps | Error m -> Error (`Msg m)
+  in
+  let print fmt ps = Format.pp_print_string fmt (Lsra.Passes.to_spec ps) in
+  Arg.conv (parse, print)
+
+let passes_arg ~default =
+  Arg.(
+    value
+    & opt passes_conv default
+    & info [ "passes" ] ~docv:"PASSES"
+        ~doc:
+          "Pipeline passes around allocation: $(b,all), $(b,none), \
+           $(b,default) (dce,peephole — the paper's §3 pipeline), \
+           $(b,cleanup) (default + motion,slots), or a comma-separated \
+           subset of copyprop, dce, motion, peephole, slots. Passes always \
+           run in canonical pipeline order.")
+
+let no_cleanup_arg =
+  Arg.(
+    value & flag
+    & info [ "no-cleanup" ]
+        ~doc:
+          "Drop every post-allocation cleanup pass (motion, peephole, \
+           slots) from the selected pass set; pre-allocation passes are \
+           kept.")
+
+let resolve_passes passes no_cleanup =
+  if no_cleanup then List.filter Lsra.Passes.is_pre passes else passes
+
 let load file = Lsra_text.Ir_text.of_string (read_input file)
 
 (* Exit codes: 1 = bad input (parse/malformed/trap), 2 = cmdliner usage,
@@ -111,17 +142,21 @@ let handle_errors f =
     exit 1
 
 let alloc_cmd =
-  let run file machine algo verify jobs =
+  let run file machine algo verify jobs passes no_cleanup =
     handle_errors (fun () ->
         let prog = load file in
+        let passes = resolve_passes passes no_cleanup in
         ignore
-          (Lsra.Allocator.pipeline ~precheck:true ~verify ~jobs algo machine
-             prog);
+          (Lsra.Allocator.pipeline ~precheck:true ~verify ~passes ~jobs algo
+             machine prog);
         print_string (Lsra_text.Ir_text.to_string prog))
   in
   Cmd.v
     (Cmd.info "alloc" ~doc:"Register-allocate a program and print it.")
-    Term.(const run $ file_arg $ machine_arg $ algo_arg $ verify_arg $ jobs_arg)
+    Term.(
+      const run $ file_arg $ machine_arg $ algo_arg $ verify_arg $ jobs_arg
+      $ passes_arg ~default:Lsra.Passes.default
+      $ no_cleanup_arg)
 
 let input_arg =
   Arg.(
@@ -156,12 +191,13 @@ let run_cmd =
     Term.(const run $ file_arg $ machine_arg $ input_arg $ fuel_arg)
 
 let stats_cmd =
-  let run file machine algo input jobs =
+  let run file machine algo input jobs passes no_cleanup =
     handle_errors (fun () ->
         let prog = load file in
+        let passes = resolve_passes passes no_cleanup in
         let stats =
-          Lsra.Allocator.pipeline ~precheck:true ~verify:true ~jobs algo
-            machine prog
+          Lsra.Allocator.pipeline ~precheck:true ~verify:true ~passes ~jobs
+            algo machine prog
         in
         Format.printf "static allocation statistics:@.%a@." Lsra.Stats.pp
           stats;
@@ -181,7 +217,10 @@ let stats_cmd =
   Cmd.v
     (Cmd.info "stats"
        ~doc:"Allocate, verify, and report static and dynamic statistics.")
-    Term.(const run $ file_arg $ machine_arg $ algo_arg $ input_arg $ jobs_arg)
+    Term.(
+      const run $ file_arg $ machine_arg $ algo_arg $ input_arg $ jobs_arg
+      $ passes_arg ~default:Lsra.Passes.default
+      $ no_cleanup_arg)
 
 let gen_cmd =
   let seed_arg =
@@ -243,12 +282,13 @@ let compile_cmd =
     Term.(const run $ file_arg $ machine_arg)
 
 let exec_cmd =
-  let run file machine algo input =
+  let run file machine algo input passes no_cleanup =
     handle_errors (fun () ->
         let prog = Lsra_frontend.Minilang.compile machine (read_input file) in
+        let passes = resolve_passes passes no_cleanup in
         ignore
-          (Lsra.Allocator.pipeline ~precheck:true ~verify:true algo machine
-             prog);
+          (Lsra.Allocator.pipeline ~precheck:true ~verify:true ~passes algo
+             machine prog);
         match Lsra_sim.Interp.run machine prog ~input with
         | Ok o ->
           print_string o.Lsra_sim.Interp.output;
@@ -265,7 +305,10 @@ let exec_cmd =
        ~doc:
          "Compile a Minilang source file, register-allocate it (verified) \
           and run it.")
-    Term.(const run $ file_arg $ machine_arg $ algo_arg $ input_arg)
+    Term.(
+      const run $ file_arg $ machine_arg $ algo_arg $ input_arg
+      $ passes_arg ~default:Lsra.Passes.default
+      $ no_cleanup_arg)
 
 (* The whole built-in corpus, as (name, program, input) triples: the
    eleven synthetic benchmarks, the Minilang corpus through the frontend,
@@ -311,8 +354,35 @@ let diffcheck_cmd =
       value & opt int 1
       & info [ "scale" ] ~docv:"N" ~doc:"Corpus workload scale factor.")
   in
-  let run file machine input fuel scale =
+  (* With LSRA_DIFF_ARTIFACT_DIR set, every divergence leaves its shrunk
+     reproducer there as textual IR, mirroring the fuzz-artifact
+     convention, so a CI failure can be diagnosed from the upload alone. *)
+  let artifact_dir = Sys.getenv_opt "LSRA_DIFF_ARTIFACT_DIR" in
+  let write_artifact ~pname ~mname ~algo text =
+    match artifact_dir with
+    | None -> ()
+    | Some dir ->
+      (try Unix.mkdir dir 0o755
+       with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+      let sanitize s =
+        String.map
+          (fun c ->
+            match c with
+            | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '-' | '_' | '.' -> c
+            | _ -> '-')
+          s
+      in
+      let path =
+        Printf.sprintf "%s/%s_%s_%s.lsra" dir (sanitize pname)
+          (sanitize mname) (sanitize algo)
+      in
+      Out_channel.with_open_text path (fun oc ->
+          Out_channel.output_string oc text);
+      Printf.eprintf "  reproducer written to %s\n%!" path
+  in
+  let run file machine input fuel scale passes no_cleanup =
     handle_errors (fun () ->
+        let passes = resolve_passes passes no_cleanup in
         let jobs =
           match file with
           | Some f -> [ (machine, [ ("file:" ^ f, load f, input) ]) ]
@@ -329,51 +399,78 @@ let diffcheck_cmd =
             ]
         in
         let checks = ref 0 and behavioral = ref 0 and rejects = ref 0 in
+        let frame_saved = ref 0 in
         List.iter
           (fun (m, programs) ->
             let mname = Machine.name m in
+            let m_saved = ref 0 in
             List.iter
               (fun (pname, prog, inp) ->
                 List.iter
                   (fun algo ->
                     incr checks;
                     match
-                      Lsra_sim.Diffexec.check ~fuel ~input:inp m algo prog
+                      Lsra_sim.Diffexec.check_pipeline ~fuel ~input:inp
+                        ~passes m algo prog
                     with
-                    | Ok () -> ()
+                    | Ok stats ->
+                      m_saved := !m_saved + stats.Lsra.Stats.frame_saved
                     | Error d ->
-                      (match d with
-                      | Lsra_sim.Diffexec.Verifier_reject _ -> incr rejects
-                      | _ -> incr behavioral);
+                      if Lsra_sim.Diffexec.is_verifier_reject d then
+                        incr rejects
+                      else incr behavioral;
                       Printf.eprintf "DIVERGENCE %s on %s under %s: %s\n%!"
                         pname mname
                         (Lsra.Allocator.short_name algo)
-                        (Lsra_sim.Diffexec.divergence_to_string d))
+                        (Lsra_sim.Diffexec.divergence_to_string d);
+                      (* Minimise with the same full-pipeline oracle and
+                         dump the reproducer, as the fuzzer would. *)
+                      let small =
+                        Lsra_sim.Diffexec.shrink_pipeline ~input:inp ~passes
+                          m algo prog
+                      in
+                      let text = Lsra_text.Ir_text.to_string small in
+                      Printf.eprintf "minimal reproducer:\n%s%!" text;
+                      write_artifact ~pname ~mname
+                        ~algo:(Lsra.Allocator.short_name algo)
+                        text)
                   Lsra.Allocator.all)
-              programs)
+              programs;
+            if !m_saved > 0 then
+              Printf.printf "diffcheck: %s: %d frame words saved by slots\n"
+                mname !m_saved;
+            frame_saved := !frame_saved + !m_saved)
           jobs;
         Printf.printf
-          "diffcheck: %d checks, %d divergences (%d verifier rejects)\n"
+          "diffcheck: %d checks (passes: %s), %d divergences (%d verifier \
+           rejects), %d frame words saved\n"
           !checks
+          (Lsra.Passes.to_spec passes)
           (!behavioral + !rejects)
-          !rejects;
+          !rejects !frame_saved;
         (* Exit-code contract: behavioral divergences (wrong output, traps,
-           allocator exceptions, trace mismatches) dominate and exit 4; a
-           run whose only failures are abstract-verifier rejections exits
-           3, matching the [handle_errors] convention for Verify.Mismatch. *)
+           allocator exceptions, trace mismatches — from allocation or any
+           cleanup pass) dominate and exit 4; a run whose only failures are
+           abstract-verifier rejections exits 3, matching the
+           [handle_errors] convention for Verify.Mismatch. *)
         if !behavioral > 0 then exit exit_divergence
         else if !rejects > 0 then exit exit_verify_failed)
   in
   Cmd.v
     (Cmd.info "diffcheck"
        ~doc:
-         "Differential-execution oracle: run programs before and after \
-          allocation under every allocator and compare all observable \
-          behaviour (the allocation also runs under a decision trace whose \
-          replay must agree with the reported statistics). Exits 4 on any \
-          behavioral divergence, 3 when only the abstract verifier \
-          rejected.")
-    Term.(const run $ file_arg $ machine_arg $ input_arg $ fuel_arg $ scale_arg)
+         "Differential-execution oracle over the full pipeline: run \
+          programs through the managed passes and every allocator, \
+          re-interpreting and re-verifying after every pass (the \
+          allocation also runs under a decision trace whose replay must \
+          agree with the reported statistics). Divergences are shrunk to \
+          minimal reproducers (written to $(b,LSRA_DIFF_ARTIFACT_DIR) \
+          when set). Exits 4 on any behavioral divergence, 3 when only \
+          the abstract verifier rejected.")
+    Term.(
+      const run $ file_arg $ machine_arg $ input_arg $ fuel_arg $ scale_arg
+      $ passes_arg ~default:Lsra.Passes.all
+      $ no_cleanup_arg)
 
 let trace_cmd =
   let fn_arg =

@@ -38,28 +38,50 @@ let run_program ?jobs ?trace algorithm machine prog =
   let jobs = if trace = None then jobs else Some 1 in
   Parallel.fold_stats ?jobs prog (run ?trace algorithm machine)
 
-(* The paper's full pipeline: dead-code elimination, allocation, then the
-   move-collapsing peephole pass (§3). *)
-let pipeline ?(precheck = false) ?(verify = false) ?(cleanup = false) ?jobs
-    ?trace algorithm machine prog =
+(* The paper's full pipeline (§3): the pre-allocation passes of
+   [passes], allocation, then its post-allocation cleanups — with the
+   oracle sandwich around every stage. Verification and the caller's
+   [check_each] oracle run after allocation AND again after every
+   cleanup pass, so Motion/Peephole/Slots output is held to the same
+   standard as the allocator's; a pass list without Peephole really does
+   skip it (the flag and the pipeline agree). *)
+let pipeline ?(precheck = false) ?(verify = false) ?(passes = Passes.default)
+    ?check_each ?jobs ?trace algorithm machine prog =
   if precheck then
     List.iter (fun (_, f) -> Precheck.run machine f) (Program.funcs prog);
+  let pre, post = List.partition Passes.is_pre (Passes.normalize passes) in
+  let checked pass =
+    match check_each with None -> () | Some f -> f pass prog
+  in
+  let pre_stats = Stats.create () in
+  List.iter
+    (fun pass ->
+      ignore (Passes.run_pass ~stats:pre_stats ?trace pass prog);
+      checked (Some pass))
+    pre;
+  (* Snapshot after the pre-allocation passes: the verifier matches
+     instructions by uid, so the original must be the exact program the
+     allocator saw. *)
   let originals =
-    if verify then List.map (fun (n, f) -> (n, Func.copy f)) (Program.funcs prog)
+    if verify then
+      List.map (fun (n, f) -> (n, Func.copy f)) (Program.funcs prog)
     else []
   in
-  List.iter (fun (_, f) -> ignore (Lsra_analysis.Dce.run_to_fixpoint f))
-    (Program.funcs prog);
   let stats = run_program ?jobs ?trace algorithm machine prog in
-  if verify then
-    List.iter
-      (fun (n, allocated) ->
-        let original = List.assoc n originals in
-        (* DCE ran after the copy; re-run it on the copy so uids align. *)
-        ignore (Lsra_analysis.Dce.run_to_fixpoint original);
-        Verify.run machine ~original ~allocated)
-      (Program.funcs prog);
-  if cleanup then ignore (Motion.run_program prog);
-  Stats.timed stats Stats.Peephole (fun () ->
-      ignore (Peephole.run_program prog));
+  Stats.add ~into:stats pre_stats;
+  let verify_all () =
+    if verify then
+      List.iter
+        (fun (n, allocated) ->
+          Verify.run machine ~original:(List.assoc n originals) ~allocated)
+        (Program.funcs prog)
+  in
+  verify_all ();
+  checked None;
+  List.iter
+    (fun pass ->
+      ignore (Passes.run_pass ~stats ?trace pass prog);
+      verify_all ();
+      checked (Some pass))
+    post;
   stats

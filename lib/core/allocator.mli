@@ -35,19 +35,33 @@ val run : ?trace:Trace.t -> algorithm -> Machine.t -> Func.t -> Stats.t
 val run_program :
   ?jobs:int -> ?trace:Trace.t -> algorithm -> Machine.t -> Program.t -> Stats.t
 
-(** [pipeline algorithm machine prog] mutates [prog] through
-    DCE, allocation and the peephole cleanup, exactly the pass order the
-    paper's experiments use. With [~verify:true] every function is also
-    checked by {!Verify} against its pre-allocation form; with
-    [~cleanup:true] the {!Motion} spill cleanup (the paper's §2.4
-    alternative) runs before the peephole pass; with [~precheck:true] the
-    input is validated by {!Precheck} first. [jobs] parallelises the
-    allocation step as in {!run_program}; [trace] records the allocation
-    step's decisions (and forces it sequential). *)
+(** [pipeline algorithm machine prog] mutates [prog] through the managed
+    pass pipeline: the pre-allocation passes of [passes] (in
+    {!Passes.normalize} order), allocation, then its post-allocation
+    cleanup passes. The default pass set is {!Passes.default} — DCE
+    before allocation, the move-collapsing peephole after, exactly the
+    paper's §3 pipeline; [~passes:[]] allocates and runs nothing else.
+
+    Oracle sandwich: with [~verify:true] every function is checked by
+    {!Verify} against its pre-allocation form after allocation {e and
+    again after every cleanup pass}, so Motion/Peephole/Slots output is
+    held to the same standard as the allocator's. [check_each] is an
+    additional caller-supplied oracle (e.g. the differential-execution
+    check in [Lsra_sim.Diffexec]), invoked after every pass with [Some
+    pass] and once after allocation with [None]; raise from it to abort.
+
+    With [~precheck:true] the input is validated by {!Precheck} first.
+    [jobs] parallelises the allocation step as in {!run_program};
+    [trace] records the allocation step's decisions (forcing it
+    sequential) plus {!Trace.Pass_begin}/{!Trace.Pass_end} brackets for
+    every managed pass. Slots' frame-word savings are reported in the
+    returned stats' [frame_saved], and every managed pass's wall time
+    under its own {!Stats.pass} counter. *)
 val pipeline :
   ?precheck:bool ->
   ?verify:bool ->
-  ?cleanup:bool ->
+  ?passes:Passes.t list ->
+  ?check_each:(Passes.t option -> Program.t -> unit) ->
   ?jobs:int ->
   ?trace:Trace.t ->
   algorithm ->

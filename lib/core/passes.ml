@@ -1,0 +1,136 @@
+open Lsra_ir
+
+(* The managed pipeline passes around allocation, as one composable,
+   individually-toggleable list. The paper's evaluation pipeline (§3) is
+   DCE → allocation → move-collapsing peephole; Copyprop, Motion and
+   Slots are the extension passes that slot into the same frame. Every
+   pass is pure cleanup: running any subset, in canonical order, must
+   preserve the program's observable behaviour — which is exactly what
+   the oracle sandwich (Verify + Diffexec after every pass) enforces. *)
+
+type t = Copyprop | Dce | Motion | Peephole | Slots
+
+(* Canonical pipeline order: pre-allocation passes first (copy
+   propagation feeds DCE the dead copies), then the post-allocation
+   cleanups (Motion exposes self-moves for Peephole; Slots runs last so
+   it sees the fewest live slots). *)
+let all = [ Copyprop; Dce; Motion; Peephole; Slots ]
+
+(* The paper's §3 pipeline: DCE before allocation, the move-collapsing
+   peephole after. *)
+let default = [ Dce; Peephole ]
+let cleanup = [ Motion; Peephole; Slots ]
+
+let is_pre = function
+  | Copyprop | Dce -> true
+  | Motion | Peephole | Slots -> false
+
+let name = function
+  | Copyprop -> "copyprop"
+  | Dce -> "dce"
+  | Motion -> "motion"
+  | Peephole -> "peephole"
+  | Slots -> "slots"
+
+let of_name = function
+  | "copyprop" -> Some Copyprop
+  | "dce" -> Some Dce
+  | "motion" -> Some Motion
+  | "peephole" -> Some Peephole
+  | "slots" -> Some Slots
+  | _ -> None
+
+let index p =
+  let rec go i = function
+    | [] -> assert false
+    | q :: rest -> if q = p then i else go (i + 1) rest
+  in
+  go 0 all
+
+(* Dedup and restore canonical order: passes are not commutative (Slots
+   after Motion sees fewer live slots; Peephole after Motion deletes the
+   self-moves Motion exposes), so a caller-supplied order is a request
+   for a *set* of passes, not a schedule. *)
+let normalize ps =
+  List.filter (fun p -> List.mem p ps) all |> List.sort_uniq compare
+  |> List.sort (fun a b -> compare (index a) (index b))
+
+let parse spec =
+  match String.trim spec with
+  | "all" -> Ok all
+  | "none" -> Ok []
+  | "default" -> Ok default
+  | "cleanup" -> Ok (normalize (default @ cleanup))
+  | s ->
+    let names =
+      String.split_on_char ',' s |> List.map String.trim
+      |> List.filter (fun x -> x <> "")
+    in
+    let rec go acc = function
+      | [] -> Ok (normalize (List.rev acc))
+      | n :: rest -> (
+        match of_name n with
+        | Some p -> go (p :: acc) rest
+        | None ->
+          Error
+            (Printf.sprintf
+               "unknown pass %S (expected copyprop, dce, motion, peephole, \
+                slots, or all/none/default/cleanup)"
+               n))
+    in
+    go [] names
+
+let to_spec ps =
+  match normalize ps with
+  | [] -> "none"
+  | ps -> String.concat "," (List.map name ps)
+
+let stats_pass = function
+  | Copyprop -> Stats.Copyprop
+  | Dce -> Stats.Dce
+  | Motion -> Stats.Motion
+  | Peephole -> Stats.Peephole
+  | Slots -> Stats.Slots
+
+(* Run one pass over the whole program. The return value is the pass's
+   own change count (instructions rewritten/removed; frame words saved
+   for Slots). Wall time lands in [stats] under the pass's own counter,
+   and Slots' savings additionally land in [stats.frame_saved]; a
+   [trace] sink brackets the work in [Pass_begin]/[Pass_end] events
+   (plus per-slot [Slot_renumber] events from Slots itself). *)
+let run_pass ?stats ?trace pass prog =
+  Option.iter (fun t -> Trace.emit t (Trace.Pass_begin { pass = name pass }))
+    trace;
+  let work () =
+    match pass with
+    | Copyprop -> Lsra_analysis.Copyprop.run_program prog
+    | Dce ->
+      List.fold_left
+        (fun acc (_, f) -> acc + Lsra_analysis.Dce.run_to_fixpoint f)
+        0 (Program.funcs prog)
+    | Motion -> Motion.run_program prog
+    | Peephole -> Peephole.run_program prog
+    | Slots -> Slots.run_program ?trace prog
+  in
+  let changed =
+    match stats with
+    | None -> work ()
+    | Some s -> Stats.timed s (stats_pass pass) work
+  in
+  (match pass, stats with
+  | Slots, Some s -> s.Stats.frame_saved <- s.Stats.frame_saved + changed
+  | _ -> ());
+  Option.iter
+    (fun t -> Trace.emit t (Trace.Pass_end { pass = name pass; changed }))
+    trace;
+  changed
+
+type check = t -> Program.t -> unit
+
+let run ?stats ?trace ?check passes prog =
+  List.fold_left
+    (fun acc pass ->
+      let changed = run_pass ?stats ?trace pass prog in
+      (match check with None -> () | Some f -> f pass prog);
+      acc + changed)
+    0 (normalize passes)

@@ -8,7 +8,7 @@ open Lsra_analysis
    small liveness + interference-graph + greedy-coloring problem over
    slot indices. *)
 
-let run func =
+let run ?trace func =
   let nslots = Func.n_slots func in
   if nslots <= 1 then 0
   else begin
@@ -74,6 +74,16 @@ let run func =
     done;
     let saved = nslots - (!max_color + 1) in
     if saved > 0 then begin
+      (match trace with
+      | None -> ()
+      | Some t ->
+        Array.iteri
+          (fun s c ->
+            if c <> s then
+              Trace.emit t
+                (Trace.Slot_renumber
+                   { fn = Func.name func; from_slot = s; to_slot = c }))
+          color);
       Cfg.iter_blocks
         (fun b ->
           Block.set_body b
@@ -94,5 +104,5 @@ let run func =
     saved
   end
 
-let run_program prog =
-  List.fold_left (fun acc (_, f) -> acc + run f) 0 (Program.funcs prog)
+let run_program ?trace prog =
+  List.fold_left (fun acc (_, f) -> acc + run ?trace f) 0 (Program.funcs prog)

@@ -1,9 +1,10 @@
 (** Frame compaction (extension): renumber spill slots so slots with
     disjoint live ranges share a frame word. Returns the number of frame
     words saved. Run after allocation (and after {!Motion}, which can
-    only reduce slot liveness). *)
+    only reduce slot liveness). A [trace] sink receives one
+    {!Trace.Slot_renumber} event per rehomed slot. *)
 
 open Lsra_ir
 
-val run : Func.t -> int
-val run_program : Program.t -> int
+val run : ?trace:Trace.t -> Func.t -> int
+val run_program : ?trace:Trace.t -> Program.t -> int

@@ -6,6 +6,7 @@ type t = {
   mutable resolve_stores : int;
   mutable resolve_moves : int;
   mutable slots : int;
+  mutable frame_saved : int;
   mutable dataflow_rounds : int;
   mutable coloring_iterations : int;
   mutable interference_edges : int;
@@ -15,10 +16,23 @@ type t = {
   mutable time_lifetime : float;
   mutable time_scan : float;
   mutable time_resolution : float;
+  mutable time_copyprop : float;
+  mutable time_dce : float;
+  mutable time_motion : float;
   mutable time_peephole : float;
+  mutable time_slots : float;
 }
 
-type pass = Liveness | Lifetime | Scan | Resolution | Peephole
+type pass =
+  | Liveness
+  | Lifetime
+  | Scan
+  | Resolution
+  | Copyprop
+  | Dce
+  | Motion
+  | Peephole
+  | Slots
 
 let create () =
   {
@@ -29,6 +43,7 @@ let create () =
     resolve_stores = 0;
     resolve_moves = 0;
     slots = 0;
+    frame_saved = 0;
     dataflow_rounds = 0;
     coloring_iterations = 0;
     interference_edges = 0;
@@ -38,7 +53,11 @@ let create () =
     time_lifetime = 0.;
     time_scan = 0.;
     time_resolution = 0.;
+    time_copyprop = 0.;
+    time_dce = 0.;
+    time_motion = 0.;
     time_peephole = 0.;
+    time_slots = 0.;
   }
 
 let total_spill s =
@@ -50,7 +69,11 @@ let pass_time s = function
   | Lifetime -> s.time_lifetime
   | Scan -> s.time_scan
   | Resolution -> s.time_resolution
+  | Copyprop -> s.time_copyprop
+  | Dce -> s.time_dce
+  | Motion -> s.time_motion
   | Peephole -> s.time_peephole
+  | Slots -> s.time_slots
 
 let add_pass_time s pass dt =
   match pass with
@@ -58,7 +81,11 @@ let add_pass_time s pass dt =
   | Lifetime -> s.time_lifetime <- s.time_lifetime +. dt
   | Scan -> s.time_scan <- s.time_scan +. dt
   | Resolution -> s.time_resolution <- s.time_resolution +. dt
+  | Copyprop -> s.time_copyprop <- s.time_copyprop +. dt
+  | Dce -> s.time_dce <- s.time_dce +. dt
+  | Motion -> s.time_motion <- s.time_motion +. dt
   | Peephole -> s.time_peephole <- s.time_peephole +. dt
+  | Slots -> s.time_slots <- s.time_slots +. dt
 
 (* Wall-clock, not [Sys.time]: process CPU time aggregates over every
    running domain, which would overstate each pass once allocation fans
@@ -81,6 +108,7 @@ let add ~into s =
   into.resolve_stores <- into.resolve_stores + s.resolve_stores;
   into.resolve_moves <- into.resolve_moves + s.resolve_moves;
   into.slots <- into.slots + s.slots;
+  into.frame_saved <- into.frame_saved + s.frame_saved;
   into.dataflow_rounds <- max into.dataflow_rounds s.dataflow_rounds;
   into.coloring_iterations <-
     max into.coloring_iterations s.coloring_iterations;
@@ -91,7 +119,11 @@ let add ~into s =
   into.time_lifetime <- into.time_lifetime +. s.time_lifetime;
   into.time_scan <- into.time_scan +. s.time_scan;
   into.time_resolution <- into.time_resolution +. s.time_resolution;
-  into.time_peephole <- into.time_peephole +. s.time_peephole
+  into.time_copyprop <- into.time_copyprop +. s.time_copyprop;
+  into.time_dce <- into.time_dce +. s.time_dce;
+  into.time_motion <- into.time_motion +. s.time_motion;
+  into.time_peephole <- into.time_peephole +. s.time_peephole;
+  into.time_slots <- into.time_slots +. s.time_slots
 
 let pp fmt s =
   Format.fprintf fmt
@@ -101,13 +133,27 @@ let pp fmt s =
     s.evict_loads s.evict_stores s.evict_moves s.resolve_loads
     s.resolve_stores s.resolve_moves s.slots s.dataflow_rounds
     s.coloring_iterations;
+  if s.frame_saved > 0 then
+    Format.fprintf fmt "@,@[<v>frame words saved by slot compaction: %d@]"
+      s.frame_saved;
   let ttotal =
     s.time_liveness +. s.time_lifetime +. s.time_scan +. s.time_resolution
-    +. s.time_peephole
+    +. s.time_copyprop +. s.time_dce +. s.time_motion +. s.time_peephole
+    +. s.time_slots
   in
-  if ttotal > 0. then
+  if ttotal > 0. then begin
     Format.fprintf fmt
       "@,@[<v>pass times (ms): liveness %.2f, lifetime %.2f, scan %.2f, \
        resolution %.2f, peephole %.2f@]"
       (1e3 *. s.time_liveness) (1e3 *. s.time_lifetime) (1e3 *. s.time_scan)
-      (1e3 *. s.time_resolution) (1e3 *. s.time_peephole)
+      (1e3 *. s.time_resolution) (1e3 *. s.time_peephole);
+    let cleanup =
+      s.time_copyprop +. s.time_dce +. s.time_motion +. s.time_slots
+    in
+    if cleanup > 0. then
+      Format.fprintf fmt
+        "@,@[<v>pipeline times (ms): copyprop %.2f, dce %.2f, motion %.2f, \
+         slots %.2f@]"
+        (1e3 *. s.time_copyprop) (1e3 *. s.time_dce) (1e3 *. s.time_motion)
+        (1e3 *. s.time_slots)
+  end

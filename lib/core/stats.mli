@@ -12,6 +12,8 @@ type t = {
   mutable resolve_stores : int;
   mutable resolve_moves : int;
   mutable slots : int;
+  mutable frame_saved : int;
+      (** frame words reclaimed by the {!Slots} compaction pass *)
   mutable dataflow_rounds : int;
   mutable coloring_iterations : int;
   mutable interference_edges : int;
@@ -21,13 +23,28 @@ type t = {
   mutable time_lifetime : float;
   mutable time_scan : float;
   mutable time_resolution : float;
+  mutable time_copyprop : float;
+  mutable time_dce : float;
+  mutable time_motion : float;
   mutable time_peephole : float;
+  mutable time_slots : float;
 }
 
 (** The passes the wall-time breakdown distinguishes: the two analyses
     feeding the allocator, the allocate-and-rewrite scan, the CFG-edge
-    resolution and the post-allocation peephole. *)
-type pass = Liveness | Lifetime | Scan | Resolution | Peephole
+    resolution, and the managed pipeline passes around allocation
+    (copy propagation, DCE, spill motion, the peephole and slot
+    compaction). *)
+type pass =
+  | Liveness
+  | Lifetime
+  | Scan
+  | Resolution
+  | Copyprop
+  | Dce
+  | Motion
+  | Peephole
+  | Slots
 
 val create : unit -> t
 val total_spill : t -> int

@@ -87,6 +87,9 @@ type event =
       src : Mreg.t;
       cycle : bool;
     }
+  | Pass_begin of { pass : string }
+  | Pass_end of { pass : string; changed : int }
+  | Slot_renumber of { fn : string; from_slot : int; to_slot : int }
 
 type t = { mutable rev : event list; mutable n : int }
 
@@ -165,7 +168,11 @@ let text_of_event buf ev =
   | Resolve_move { temp; id; dst; src; cycle } ->
       add "    move  %s -> %s (%s#%d)%s" (Mreg.to_string src)
         (Mreg.to_string dst) temp id
-        (if cycle then " [cycle-break]" else ""));
+        (if cycle then " [cycle-break]" else "")
+  | Pass_begin { pass } -> add "pass %s begin" pass
+  | Pass_end { pass; changed } -> add "pass %s end changed=%d" pass changed
+  | Slot_renumber { fn; from_slot; to_slot } ->
+      add "  slot-renumber %s: slot%d -> slot%d" fn from_slot to_slot);
   Buffer.add_char buf '\n'
 
 let to_text evs =
@@ -316,6 +323,16 @@ let json_of_event ev =
           ("ev", S "resolve_move"); ("temp", S temp); ("id", I id);
           ("dst", reg dst); ("src", reg src); ("cycle", B cycle);
         ]
+  | Pass_begin { pass } -> json_obj [ ("ev", S "pass_begin"); ("pass", S pass) ]
+  | Pass_end { pass; changed } ->
+      json_obj
+        [ ("ev", S "pass_end"); ("pass", S pass); ("changed", I changed) ]
+  | Slot_renumber { fn; from_slot; to_slot } ->
+      json_obj
+        [
+          ("ev", S "slot_renumber"); ("fn", S fn); ("from_slot", I from_slot);
+          ("to_slot", I to_slot);
+        ]
 
 let to_jsonl evs =
   let buf = Buffer.create 4096 in
@@ -465,7 +482,10 @@ let well_formed ?(strict = false) evs =
           Hashtbl.replace known_slots slot ()
       | Resolve_store { slot; _ } -> require_slot "resolve_store" slot
       | Resolve_load { slot; _ } -> require_slot "resolve_load" slot
-      | Resolve_move _ -> require_fn "resolve_move")
+      | Resolve_move _ -> require_fn "resolve_move"
+      (* Pipeline-level events: legal anywhere, including outside any
+         [Fn] section (pre-allocation passes run before the first one). *)
+      | Pass_begin _ | Pass_end _ | Slot_renumber _ -> ())
     evs;
   if !in_fn then end_section !cur_fn;
   match !err with None -> Ok () | Some e -> Error e

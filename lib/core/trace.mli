@@ -125,6 +125,14 @@ type event =
       cycle : bool;  (** [true] for the scratch move that detaches a
                          register cycle *)
     }
+  | Pass_begin of { pass : string }
+      (** a managed pipeline pass (see {!Passes}) starts; pipeline-level,
+          so legal outside any {!Fn} section *)
+  | Pass_end of { pass : string; changed : int }
+      (** the pass finished, having rewritten or removed [changed]
+          instructions (for slot compaction: frame words saved) *)
+  | Slot_renumber of { fn : string; from_slot : int; to_slot : int }
+      (** slot compaction rehomed a spill slot of function [fn] *)
 
 (** A collecting sink. *)
 type t
@@ -164,8 +172,10 @@ val replay : event list -> replayed
 val replay_check : event list -> Stats.t -> (unit, string) result
 
 (** Structural sanity of a stream. Always checked: events appear inside an
-    {!Fn} section, and every slot referenced by a spill/reload/resolve
-    event was first announced by a {!Slot_alloc} in the same section.
+    {!Fn} section (except the pipeline-level {!Pass_begin}, {!Pass_end}
+    and {!Slot_renumber}, which are legal anywhere), and every slot
+    referenced by a spill/reload/resolve event was first announced by a
+    {!Slot_alloc} in the same section.
     With [strict] (the second-chance scan's contract): no assignment or
     reload of a temporary after its {!Expire}; no second {!Spill_split} of
     a temporary without an intervening assignment or reload; and every

@@ -17,7 +17,16 @@ open Lsra_analysis
    register's content set, and its defs remove the defined temporary from
    every stale copy. Block joins meet by intersection and the analysis
    runs to a fixed point, so values surviving loops in different
-   locations on different paths are checked soundly. *)
+   locations on different paths are checked soundly.
+
+   Cleanup passes may delete original instructions outright — the
+   peephole pass erases a coalesced move [t := u] once allocation has
+   turned it into a self-move. The walk therefore keeps a cursor into
+   each block's original body: original instructions present in the
+   allocated code must appear in source order, and any skipped ones must
+   be moves or nops, whose value flow is applied to the abstract state
+   ([t := u] deleted means every location holding u's current value now
+   holds t's as well). Anything else missing is an error. *)
 
 type astate = {
   regs : Bitset.t array; (* flat register index -> set of temp ids *)
@@ -73,11 +82,29 @@ let index_original (func : Func.t) =
     (Func.cfg func);
   tbl
 
+(* Ordered original bodies, keyed by block label: the deletion cursor
+   below walks these to find which original instructions a cleanup pass
+   removed, and where. Resolution blocks have no entry. *)
+let index_original_bodies (func : Func.t) =
+  let tbl = Hashtbl.create 64 in
+  Cfg.iter_blocks
+    (fun b -> Hashtbl.replace tbl (Block.label b) (Block.body b))
+    (Func.cfg func);
+  tbl
+
 let run machine ~original ~allocated =
   within_func (Func.name allocated) @@ fun () ->
   let regidx = Regidx.create machine in
   let nregs = Regidx.total regidx in
   let orig = index_original original in
+  let orig_bodies = index_original_bodies original in
+  (* Original-tagged uids still present in the allocated code: the
+     deletion cursor applies a skipped instruction's value flow as soon
+     as the walk passes the last kept instruction before it — before any
+     allocator-inserted code that follows (a spill store right after a
+     deleted coalesced move must copy the move's destination content,
+     not the pre-move one). *)
+  let present = Hashtbl.create 256 in
   let cfg = Func.cfg allocated in
   let nslots = Func.n_slots allocated in
   let ntemps = max (Func.temp_bound original) (Func.temp_bound allocated) in
@@ -95,6 +122,8 @@ let run machine ~original ~allocated =
       in
       Array.iter
         (fun i ->
+          if Instr.tag i = Instr.Original then
+            Hashtbl.replace present (Instr.uid i) ();
           List.iter (check_loc (Instr.to_string i)) (Instr.uses i);
           List.iter (check_loc (Instr.to_string i)) (Instr.defs i))
         (Block.body b);
@@ -108,7 +137,39 @@ let run machine ~original ~allocated =
     Array.iter (fun s -> Bitset.remove s id) st.slots
   in
 
-  let exec_instr st (i : Instr.t) =
+  (* Value flow of an original instruction a cleanup pass deleted. Only
+     moves (coalesced into self-moves) and nops may legally vanish; a
+     deleted [t := u] makes t's current value u's, so every location
+     holding u gains t. *)
+  let apply_deleted st (oi : Instr.t) =
+    match Instr.is_move oi with
+    | Some (Loc.Temp td, Loc.Temp ts) ->
+      let d = Temp.id td and s = Temp.id ts in
+      if d <> s then begin
+        kill_temp st d;
+        let tag set = if Bitset.mem set s then Bitset.add set d in
+        Array.iter tag st.regs;
+        Array.iter tag st.slots
+      end
+    | Some (Loc.Temp td, Loc.Reg r) ->
+      kill_temp st (Temp.id td);
+      Bitset.add st.regs.(flat r) (Temp.id td)
+    | Some (Loc.Reg r, Loc.Temp ts) ->
+      (* deleted only if the allocator placed ts in r already; if the
+         state cannot show that, r's content is no longer known *)
+      if not (Bitset.mem st.regs.(flat r) (Temp.id ts)) then
+        Bitset.clear st.regs.(flat r)
+    | Some (Loc.Reg _, Loc.Reg _) -> ()
+    | None -> (
+      match Instr.desc oi with
+      | Instr.Nop -> ()
+      | _ ->
+        fail (Instr.to_string oi)
+          "original instruction was deleted by a cleanup pass but is \
+           neither a move nor a nop")
+  in
+
+  let exec_instr sync st (i : Instr.t) =
     let where = Instr.to_string i in
     let reg_of where (l : Loc.t) =
       match l with
@@ -199,7 +260,11 @@ let run machine ~original ~allocated =
         | Instr.Move _ | Instr.Bin _ | Instr.Un _ | Instr.Cmp _
         | Instr.Load _ | Instr.Store _ | Instr.Spill_load _
         | Instr.Spill_store _ | Instr.Nop ->
-          ()))
+          ());
+        (* Only now move the deletion cursor: instructions deleted just
+           after this one apply their value flow to the post-instruction
+           state, before any following allocator-inserted code runs. *)
+        sync (Instr.uid i) where)
     | Instr.Spill _ -> (
       (* Allocator-inserted code copies content sets around. *)
       match Instr.desc i with
@@ -265,7 +330,60 @@ let run machine ~original ~allocated =
         | Some s0 ->
           let st = copy_state s0 in
           within_block (Block.label b) (fun () ->
-              Array.iter (exec_instr st) (Block.body b);
+              (* Deletion cursor: kept original instructions must appear
+                 in source order, and a deleted one contributes its value
+                 flow at the right moment relative to allocator-inserted
+                 code. A temp-defining deleted move sits right after the
+                 previous kept instruction (spill stores following it
+                 save its destination, so its flow applies eagerly); a
+                 register-defining deleted move sits right before the
+                 next kept instruction (the reloads feeding a convention
+                 register come first, so its flow applies late). *)
+              let obody =
+                match Hashtbl.find_opt orig_bodies (Block.label b) with
+                | Some body -> body
+                | None -> [||]
+              in
+              let pos = ref 0 in
+              let pending = ref [] in
+              let flush_late () =
+                List.iter (apply_deleted st) (List.rev !pending);
+                pending := []
+              in
+              let advance () =
+                while
+                  !pos < Array.length obody
+                  && not (Hashtbl.mem present (Instr.uid obody.(!pos)))
+                do
+                  let oi = obody.(!pos) in
+                  (match Instr.is_move oi with
+                  | Some (Loc.Reg _, _) -> pending := oi :: !pending
+                  | Some (Loc.Temp _, _) | None -> apply_deleted st oi);
+                  incr pos
+                done
+              in
+              let sync uid where =
+                if
+                  !pos < Array.length obody
+                  && Instr.uid obody.(!pos) = uid
+                then begin
+                  incr pos;
+                  advance ()
+                end
+                else fail where "original instruction out of source order"
+              in
+              advance ();
+              Array.iter
+                (fun i ->
+                  (match Instr.tag i with
+                  | Instr.Original -> flush_late ()
+                  | Instr.Spill _ -> ());
+                  exec_instr sync st i)
+                (Block.body b);
+              flush_late ();
+              if !pos < Array.length obody then
+                fail (Block.label b)
+                  "original instruction missing from its block";
               exec_term st b);
           List.iter
             (fun l ->

@@ -8,7 +8,12 @@
     temporary's current value; redefinitions invalidate stale copies
     everywhere. This catches wrong resolution code, missed spill stores,
     clobbered caller-saved values and register swaps sequenced in the
-    wrong order — independently of any particular execution. *)
+    wrong order — independently of any particular execution.
+
+    Cleanup-pass output is verifiable too: original instructions must
+    appear in source order, and ones deleted outright (the peephole pass
+    erases moves that allocation coalesced into self-moves) must be moves
+    or nops, whose value flow is still applied to the abstract state. *)
 
 open Lsra_ir
 open Lsra_target

@@ -21,8 +21,9 @@ type divergence =
   | Verifier_reject of Lsra.Verify.error
   | Allocator_raise of string
   | Trace_mismatch of string
+  | Pass_divergence of { pass : string; underlying : divergence }
 
-let divergence_to_string = function
+let rec divergence_to_string = function
   | Reference_trap e -> Printf.sprintf "pre-allocation program traps: %s" e
   | Allocated_trap e -> Printf.sprintf "allocated program traps: %s" e
   | Output_mismatch { expected; actual } ->
@@ -36,6 +37,19 @@ let divergence_to_string = function
       e.Lsra.Verify.what
   | Allocator_raise e -> Printf.sprintf "allocator raised: %s" e
   | Trace_mismatch e -> Printf.sprintf "decision-trace mismatch: %s" e
+  | Pass_divergence { pass; underlying } ->
+    Printf.sprintf "after cleanup pass '%s': %s" pass
+      (divergence_to_string underlying)
+
+(* A Verifier_reject (even one attributed to a cleanup pass) means the
+   abstract checker balked; everything else is a behavioral failure. The
+   diffcheck driver keys its exit code on this split. *)
+let rec is_verifier_reject = function
+  | Verifier_reject _ -> true
+  | Pass_divergence { underlying; _ } -> is_verifier_reject underlying
+  | Reference_trap _ | Allocated_trap _ | Output_mismatch _ | Ret_mismatch _
+  | Allocator_raise _ | Trace_mismatch _ ->
+    false
 
 type alloc_fn = Machine.t -> Func.t -> unit
 
@@ -98,7 +112,12 @@ let check_with ?(fuel = 200_000_000) ?(verify = true) ?(input = "") machine
                  expected = reference.Interp.output;
                  actual = actual.Interp.output;
                })
-        else if not (Value.equal reference.Interp.ret actual.Interp.ret) then
+        else if
+          reference.Interp.ret <> Value.Undef
+          && not (Value.equal reference.Interp.ret actual.Interp.ret)
+          (* an undefined reference return refines to anything: the
+             program never promised a value there *)
+        then
           Error
             (Ret_mismatch
                { expected = reference.Interp.ret; actual = actual.Interp.ret })
@@ -119,14 +138,107 @@ let check_all ?fuel ?verify ?input ?(algorithms = Lsra.Allocator.all) machine
     algorithms
 
 (* ------------------------------------------------------------------ *)
+(* Full-pipeline oracle                                                *)
+
+(* The oracle sandwich over the whole managed pipeline: interpret the
+   program once for reference, then re-interpret (and re-verify) after
+   every pass — the pre-allocation passes, the allocation itself, and
+   each post-allocation cleanup. A divergence introduced by a cleanup
+   pass is pinned to that pass by name, so "Motion broke this program"
+   and "the allocator broke this program" are distinct findings. *)
+let check_pipeline ?(fuel = 200_000_000) ?(verify = true) ?(input = "")
+    ?(passes = Lsra.Passes.all) ?(trace_check = true) machine algo prog =
+  match Interp.run ~fuel machine prog ~input with
+  | Error e -> Error (Reference_trap e)
+  | Ok reference -> (
+    let copy = Program.copy prog in
+    let stats = Lsra.Stats.create () in
+    let pre, post =
+      List.partition Lsra.Passes.is_pre (Lsra.Passes.normalize passes)
+    in
+    let wrap pass d =
+      match pass with
+      | None -> d
+      | Some p ->
+        Pass_divergence { pass = Lsra.Passes.name p; underlying = d }
+    in
+    let compare_run pass =
+      match Interp.run ~fuel machine copy ~input with
+      | Error e -> raise (Stop (wrap pass (Allocated_trap e)))
+      | Ok actual ->
+        if reference.Interp.output <> actual.Interp.output then
+          raise
+            (Stop
+               (wrap pass
+                  (Output_mismatch
+                     {
+                       expected = reference.Interp.output;
+                       actual = actual.Interp.output;
+                     })))
+        else if
+          reference.Interp.ret <> Value.Undef
+          && not (Value.equal reference.Interp.ret actual.Interp.ret)
+          (* undefined reference return: any refinement is acceptable *)
+        then
+          raise
+            (Stop
+               (wrap pass
+                  (Ret_mismatch
+                     {
+                       expected = reference.Interp.ret;
+                       actual = actual.Interp.ret;
+                     })))
+    in
+    let originals = ref [] in
+    let verify_all pass =
+      if verify then
+        List.iter
+          (fun (n, allocated) ->
+            match
+              Lsra.Verify.check machine ~original:(List.assoc n !originals)
+                ~allocated
+            with
+            | Ok () -> ()
+            | Error e -> raise (Stop (wrap pass (Verifier_reject e))))
+          (Program.funcs copy)
+    in
+    try
+      List.iter
+        (fun p ->
+          ignore (Lsra.Passes.run_pass ~stats p copy);
+          compare_run (Some p))
+        pre;
+      if verify then
+        originals :=
+          List.map (fun (n, f) -> (n, Func.copy f)) (Program.funcs copy);
+      let alloc = if trace_check then traced_alloc_of algo else alloc_of algo in
+      List.iter
+        (fun (_, f) ->
+          try alloc machine f with
+          | Stop _ as stop -> raise stop
+          | e -> raise (Stop (Allocator_raise (Printexc.to_string e))))
+        (Program.funcs copy);
+      verify_all None;
+      compare_run None;
+      List.iter
+        (fun p ->
+          ignore (Lsra.Passes.run_pass ~stats p copy);
+          verify_all (Some p);
+          compare_run (Some p))
+        post;
+      Ok stats
+    with Stop d -> Error d)
+
+(* ------------------------------------------------------------------ *)
 (* Shrinking                                                           *)
 
 (* A failure still counts only if the *pre-allocation* program stays
    well-defined: a shrink step that makes the reference itself trap
    (e.g. deleting an initialisation) is rejected, so the reproducer is
-   always a valid input on which only the allocator is wrong. *)
-let still_fails ?fuel ?verify ?input machine alloc prog =
-  match check_with ?fuel ?verify ?input machine alloc prog with
+   always a valid input on which only the allocator (or a cleanup pass)
+   is wrong. *)
+let still_fails_by recheck ~fuel prog =
+  match recheck ~fuel prog with
   | Error (Reference_trap _) | Ok () -> false
   | Error _ -> true
 
@@ -172,8 +284,10 @@ let edits prog =
              deletes @ straightens)))
     (Program.funcs prog)
 
-let shrink ?fuel ?verify ?input ?(max_checks = 2_000) machine
-    (alloc : alloc_fn) prog =
+(* The shrinking loop itself is oracle-agnostic: [recheck] is any
+   program-level differential checker (allocation-only via {!check_with},
+   or the full pipeline via {!check_pipeline}). *)
+let shrink_by ?fuel ?input ?(max_checks = 2_000) machine recheck prog =
   (* Unless the caller pins the fuel, bound every candidate run by the
      reference execution of the full program: an edit that creates a
      runaway loop (straightening a loop exit, deleting an induction
@@ -192,7 +306,7 @@ let shrink ?fuel ?verify ?input ?(max_checks = 2_000) machine
   let checks = ref 0 in
   let still_fails p =
     incr checks;
-    still_fails ~fuel ?verify ?input machine alloc p
+    still_fails_by recheck ~fuel p
   in
   let try_edit cur edit =
     let cand = Program.copy cur in
@@ -229,6 +343,19 @@ let shrink ?fuel ?verify ?input ?(max_checks = 2_000) machine
     done;
     !cur
   end
+
+let shrink ?fuel ?verify ?input ?max_checks machine (alloc : alloc_fn) prog =
+  shrink_by ?fuel ?input ?max_checks machine
+    (fun ~fuel p -> check_with ~fuel ?verify ?input machine alloc p)
+    prog
+
+let shrink_pipeline ?fuel ?verify ?input ?passes ?max_checks machine algo prog
+    =
+  shrink_by ?fuel ?input ?max_checks machine
+    (fun ~fuel p ->
+      Result.map ignore
+        (check_pipeline ~fuel ?verify ?input ?passes machine algo p))
+    prog
 
 (* ------------------------------------------------------------------ *)
 (* Fuzzing                                                             *)
@@ -272,7 +399,8 @@ let default_fuzz_machines =
   ]
 
 let fuzz ?fuel ?(verify = true) ?(machines = default_fuzz_machines)
-    ?(algorithms = Lsra.Allocator.all) ?(log = ignore) ~seeds () =
+    ?(algorithms = Lsra.Allocator.all) ?(passes = Lsra.Passes.all)
+    ?(log = ignore) ~seeds () =
   let failures = ref [] in
   List.iter
     (fun seed ->
@@ -285,21 +413,32 @@ let fuzz ?fuel ?(verify = true) ?(machines = default_fuzz_machines)
           in
           List.iter
             (fun algo ->
-              match check ?fuel ~verify ~input machine algo prog with
+              match
+                Result.map ignore
+                  (check_pipeline ?fuel ~verify ~input ~passes machine algo
+                     prog)
+              with
               | Ok () -> ()
               | Error d ->
                 let algorithm = Lsra.Allocator.short_name algo in
                 log
                   (Printf.sprintf "seed %d on %s under %s: %s — shrinking"
                      seed machine_name algorithm (divergence_to_string d));
-                (* Shrink under the traced allocator so trace-mismatch
-                   divergences keep reproducing while the program shrinks. *)
-                let alloc = traced_alloc_of algo in
-                let small = shrink ?fuel ~verify ~input machine alloc prog in
+                (* Shrink under the very same full-pipeline (traced)
+                   oracle, so divergences from cleanup passes and trace
+                   mismatches keep reproducing while the program
+                   shrinks. *)
+                let small =
+                  shrink_pipeline ?fuel ~verify ~input ~passes machine algo
+                    prog
+                in
                 let divergence =
-                  match check_with ?fuel ~verify ~input machine alloc small with
+                  match
+                    check_pipeline ?fuel ~verify ~input ~passes machine algo
+                      small
+                  with
                   | Error d' -> d'
-                  | Ok () -> d
+                  | Ok _ -> d
                 in
                 failures :=
                   {

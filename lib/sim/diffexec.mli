@@ -30,8 +30,16 @@ type divergence =
       (** the decision trace disagrees with the allocator's own [Stats]
           counters, or the event stream is malformed — the allocator's
           accounting and its actions have drifted apart *)
+  | Pass_divergence of { pass : string; underlying : divergence }
+      (** a managed pipeline pass (named by {!Lsra.Passes.name}), not the
+          allocation itself, introduced the underlying divergence — only
+          from {!check_pipeline} / {!fuzz} *)
 
 val divergence_to_string : divergence -> string
+
+(** [true] for {!Verifier_reject}, including one wrapped in a
+    {!Pass_divergence} — the exit-code split the diffcheck driver uses. *)
+val is_verifier_reject : divergence -> bool
 
 (** An in-place per-function allocator, as the test suites use. *)
 type alloc_fn = Machine.t -> Func.t -> unit
@@ -83,6 +91,27 @@ val check_all :
   Program.t ->
   (string * divergence) list
 
+(** The oracle sandwich over the whole managed pipeline: interpret the
+    program once for reference, then run the pre-allocation passes of
+    [passes] (default {!Lsra.Passes.all}), the allocation (traced, as in
+    {!check}, unless [trace_check] is [false]) and the post-allocation
+    cleanups — re-interpreting after {e every} pass and re-running the
+    abstract verifier after every post-allocation stage ([verify]
+    defaults to [true]). A divergence introduced by a cleanup pass is
+    reported as {!Pass_divergence}, pinned to that pass by name. On
+    success, returns the pipeline's pass statistics (per-pass wall times
+    and [frame_saved], the frame words reclaimed by Slots). *)
+val check_pipeline :
+  ?fuel:int ->
+  ?verify:bool ->
+  ?input:string ->
+  ?passes:Lsra.Passes.t list ->
+  ?trace_check:bool ->
+  Machine.t ->
+  Lsra.Allocator.algorithm ->
+  Program.t ->
+  (Lsra.Stats.t, divergence) result
+
 (** Greedy delta-debugging of a failing program: repeatedly delete one
     instruction or straighten one conditional branch, keeping an edit
     only while the reference run stays well-defined {e and} the
@@ -102,6 +131,20 @@ val shrink :
   Program.t ->
   Program.t
 
+(** {!shrink}, but against the full-pipeline oracle {!check_pipeline}
+    with the given [passes]: the divergence that must persist may live in
+    a cleanup pass, not just in the allocation. *)
+val shrink_pipeline :
+  ?fuel:int ->
+  ?verify:bool ->
+  ?input:string ->
+  ?passes:Lsra.Passes.t list ->
+  ?max_checks:int ->
+  Machine.t ->
+  Lsra.Allocator.algorithm ->
+  Program.t ->
+  Program.t
+
 type fuzz_report = {
   seed : int;
   machine_name : string;
@@ -118,14 +161,18 @@ val fuzz_params : int -> Lsra_workloads.Gen.params
 val default_fuzz_machines : (string * Machine.t) list
 
 (** [fuzz ~seeds ()] generates one program per seed and machine, checks
-    it under every algorithm, and shrinks each failure. Deterministic:
-    the same seed set always exercises the same programs. [log] receives
-    one progress line per divergence found. *)
+    it under every algorithm {e through the full managed pipeline}
+    ({!check_pipeline} with [passes], default {!Lsra.Passes.all} — so
+    the fuzzer exercises Copyprop, DCE, Motion, Peephole and Slots, not
+    just allocation), and shrinks each failure under the same pipeline
+    oracle. Deterministic: the same seed set always exercises the same
+    programs. [log] receives one progress line per divergence found. *)
 val fuzz :
   ?fuel:int ->
   ?verify:bool ->
   ?machines:(string * Machine.t) list ->
   ?algorithms:Lsra.Allocator.algorithm list ->
+  ?passes:Lsra.Passes.t list ->
   ?log:(string -> unit) ->
   seeds:int list ->
   unit ->

@@ -154,6 +154,52 @@ let test_fuzz_smoke () =
   | [] -> ()
   | r :: _ -> Alcotest.failf "fuzz found: %s" (D.pp_fuzz_report r)
 
+(* The full managed pipeline (every cleanup pass, per-pass oracle
+   checks) must agree with the plain allocation oracle on random
+   programs, and its stats must carry the Slots accounting. *)
+let test_pipeline_oracle_accepts_all_passes () =
+  List.iter
+    (fun seed ->
+      let prog = gen_prog seed in
+      List.iter
+        (fun algo ->
+          match
+            D.check_pipeline ~input:"abc" ~passes:Lsra.Passes.all tiny algo
+              prog
+          with
+          | Ok stats ->
+            if stats.Lsra.Stats.frame_saved < 0 then
+              Alcotest.fail "negative frame_saved"
+          | Error d ->
+            Alcotest.failf "pipeline oracle failed seed %d under %s: %s" seed
+              (Lsra.Allocator.name algo)
+              (D.divergence_to_string d))
+        Lsra.Allocator.all)
+    [ 11; 12; 13 ]
+
+(* Exit-code classification: a verifier reject stays a "reject" even
+   when a cleanup pass introduced it, everything else is behavioral. *)
+let test_pass_divergence_classification () =
+  let reject =
+    D.Verifier_reject
+      { Lsra.Verify.fn = "f"; block = "entry"; where = "x"; what = "w" }
+  in
+  let behavioral = D.Output_mismatch { expected = "1"; actual = "2" } in
+  Alcotest.(check bool) "bare reject" true (D.is_verifier_reject reject);
+  Alcotest.(check bool)
+    "reject wrapped in a pass" true
+    (D.is_verifier_reject
+       (D.Pass_divergence { pass = "peephole"; underlying = reject }));
+  Alcotest.(check bool)
+    "behavioral wrapped in a pass" false
+    (D.is_verifier_reject
+       (D.Pass_divergence { pass = "motion"; underlying = behavioral }));
+  let printed =
+    D.divergence_to_string
+      (D.Pass_divergence { pass = "motion"; underlying = behavioral })
+  in
+  if not (String.length printed > 0) then Alcotest.fail "empty rendering"
+
 let test_reference_trap_is_not_an_allocator_bug () =
   (* a program reading an undefined temp traps before allocation: the
      oracle must blame the input, not the allocator *)
@@ -186,6 +232,10 @@ let suite =
     Alcotest.test_case "corpus spot check under all four allocators" `Quick
       test_corpus_spot_check;
     Alcotest.test_case "fuzz smoke on fixed seeds" `Slow test_fuzz_smoke;
+    Alcotest.test_case "pipeline oracle passes with every cleanup pass" `Quick
+      test_pipeline_oracle_accepts_all_passes;
+    Alcotest.test_case "pass divergences classify and render" `Quick
+      test_pass_divergence_classification;
     Alcotest.test_case "a trapping input blames the reference" `Quick
       test_reference_trap_is_not_an_allocator_bug;
   ]

@@ -103,6 +103,42 @@ let test_slots_compaction_saves_words () =
       (Lsra_sim.Value.to_string b.Lsra_sim.Interp.ret)
   | Error e, _ | _, Error e -> Alcotest.failf "trapped: %s" e
 
+let test_slots_shares_disjoint_lifetimes () =
+  (* two spill slots with provably disjoint lifetimes must end up
+     sharing one frame word, and the rehoming must be traced *)
+  let machine = Machine.small () in
+  let r = Machine.int_ret machine in
+  let b = B.create ~name:"f" in
+  B.start_block b "entry";
+  B.move b (Loc.Reg r) (Operand.int 1);
+  B.insn b (Instr.Spill_store { src = Loc.Reg r; slot = 0 });
+  B.insn b (Instr.Spill_load { dst = Loc.Reg r; slot = 0 });
+  (* slot 0 is dead from here on; slot 1's lifetime starts after *)
+  B.insn b (Instr.Spill_store { src = Loc.Reg r; slot = 1 });
+  B.insn b (Instr.Spill_load { dst = Loc.Reg r; slot = 1 });
+  B.ret b;
+  let f = B.finish b in
+  Func.set_slot_count f 2;
+  let trace = Lsra.Trace.create () in
+  let saved = Lsra.Slots.run ~trace f in
+  Alcotest.(check int) "one frame word shared" 1 saved;
+  Alcotest.(check int) "one slot remains" 1 (Func.n_slots f);
+  Alcotest.(check bool) "renumbering traced" true
+    (List.exists
+       (fun (e : Lsra.Trace.event) ->
+         match e with
+         | Lsra.Trace.Slot_renumber { fn = "f"; from_slot = 1; to_slot = 0 }
+           ->
+           true
+         | _ -> false)
+       (Lsra.Trace.events trace));
+  (* both loads now read the shared word *)
+  Func.iter_instrs f (fun i ->
+      match Instr.desc i with
+      | Instr.Spill_load { slot; _ } | Instr.Spill_store { slot; _ } ->
+        Alcotest.(check int) "rehomed to slot 0" 0 slot
+      | _ -> ())
+
 let test_slots_compaction_on_workloads () =
   let machine =
     Machine.small ~int_regs:7 ~float_regs:7 ~int_caller_saved:4
@@ -253,6 +289,8 @@ let suite =
       test_precheck_rejects_use_before_def;
     Alcotest.test_case "frame compaction saves words" `Quick
       test_slots_compaction_saves_words;
+    Alcotest.test_case "frame compaction shares disjoint lifetimes" `Quick
+      test_slots_shares_disjoint_lifetimes;
     Alcotest.test_case "frame compaction preserves workloads" `Quick
       test_slots_compaction_on_workloads;
     Alcotest.test_case "rpo order" `Quick test_rpo_order;

@@ -98,7 +98,8 @@ let test_motion_preserves_workloads () =
            base);
       let cleaned = Program.copy case.Lsra_workloads.Specbench.program in
       ignore
-        (Lsra.Allocator.pipeline ~cleanup:true
+        (Lsra.Allocator.pipeline
+           ~passes:[ Lsra.Passes.Dce; Lsra.Passes.Motion; Lsra.Passes.Peephole ]
            Lsra.Allocator.default_second_chance machine cleaned);
       match
         ( Lsra_sim.Interp.run machine base

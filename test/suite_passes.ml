@@ -86,15 +86,16 @@ let test_pipeline_verifies_all_algorithms () =
     ]
 
 let test_pipeline_cleanup_verifies () =
-  (* verify + cleanup must compose (cleanup runs after verification; the
-     cleaned program must still execute identically) *)
+  (* verify + full cleanup must compose: every pass's output is
+     re-verified, and the cleaned program must still execute
+     identically *)
   let machine = Machine.small ~int_regs:4 ~float_regs:4 () in
   let f = pressure_func ~width:8 ~iters:5 in
   let prog = prog_of_func f in
   let reference = Lsra_sim.Interp.run machine prog ~input:"" in
   let copy = Program.copy prog in
   ignore
-    (Lsra.Allocator.pipeline ~verify:true ~cleanup:true
+    (Lsra.Allocator.pipeline ~verify:true ~passes:Lsra.Passes.all
        Lsra.Allocator.default_second_chance machine copy);
   match reference, Lsra_sim.Interp.run machine copy ~input:"" with
   | Ok a, Ok b ->
@@ -102,6 +103,123 @@ let test_pipeline_cleanup_verifies () =
       (Lsra_sim.Value.to_string a.Lsra_sim.Interp.ret)
       (Lsra_sim.Value.to_string b.Lsra_sim.Interp.ret)
   | Error e, _ | _, Error e -> Alcotest.failf "trapped: %s" e
+
+let test_passes_parse () =
+  let roundtrip spec =
+    match Lsra.Passes.parse spec with
+    | Error e -> Alcotest.failf "parse %S: %s" spec e
+    | Ok ps -> Lsra.Passes.to_spec ps
+  in
+  Alcotest.(check string) "all" "copyprop,dce,motion,peephole,slots"
+    (roundtrip "all");
+  Alcotest.(check string) "default" "dce,peephole" (roundtrip "default");
+  Alcotest.(check string) "none" "none" (roundtrip "none");
+  Alcotest.(check string) "list is normalized to canonical order"
+    "dce,motion,slots"
+    (roundtrip "slots,dce,motion,dce");
+  Alcotest.(check bool) "unknown pass rejected" true
+    (match Lsra.Passes.parse "dce,frobnicate" with
+    | Error _ -> true
+    | Ok _ -> false)
+
+let test_pipeline_empty_passes () =
+  (* ~passes:[] really runs nothing around the allocation: dead code
+     survives, and no Pass_begin event is traced *)
+  let machine = Machine.small () in
+  let mk () =
+    let b = B.create ~name:"main" in
+    let t = B.temp b Rclass.Int in
+    let dead = B.temp b Rclass.Int in
+    B.start_block b "entry";
+    B.li b t 5;
+    B.li b dead 7;
+    B.move b (Loc.Reg (Machine.int_ret machine)) (o_temp t);
+    B.ret b;
+    prog_of_func (B.finish b)
+  in
+  let bare = mk () in
+  let trace = Lsra.Trace.create () in
+  ignore
+    (Lsra.Allocator.pipeline ~verify:true ~passes:[] ~trace
+       Lsra.Allocator.default_second_chance machine bare);
+  let f' = Program.find_exn bare "main" in
+  Alcotest.(check int) "dead li survives without dce" 3
+    (Array.length (Block.body (Cfg.block (Func.cfg f') "entry")));
+  let pass_events =
+    List.filter
+      (fun (e : Lsra.Trace.event) ->
+        match e with
+        | Lsra.Trace.Pass_begin _ | Lsra.Trace.Pass_end _ -> true
+        | _ -> false)
+      (Lsra.Trace.events trace)
+  in
+  Alcotest.(check int) "no pass events" 0 (List.length pass_events)
+
+let test_pipeline_check_each_order () =
+  (* the caller's oracle runs after every pre pass, after allocation
+     (None), and after every post pass — in pipeline order *)
+  let machine = Machine.small ~int_regs:4 ~float_regs:4 () in
+  let prog = prog_of_func (pressure_func ~width:8 ~iters:5) in
+  let seen = ref [] in
+  let check_each pass _prog = seen := pass :: !seen in
+  ignore
+    (Lsra.Allocator.pipeline ~verify:true ~passes:Lsra.Passes.all ~check_each
+       Lsra.Allocator.default_second_chance machine prog);
+  let got =
+    List.rev_map
+      (function
+        | None -> "alloc" | Some p -> Lsra.Passes.name p)
+      !seen
+  in
+  Alcotest.(check (list string)) "oracle sandwich order"
+    [ "copyprop"; "dce"; "alloc"; "motion"; "peephole"; "slots" ]
+    got
+
+let test_pipeline_trace_brackets () =
+  (* every managed pass is bracketed by Pass_begin/Pass_end in the trace,
+     and the stream stays well-formed *)
+  let machine = Machine.small ~int_regs:4 ~float_regs:4 () in
+  let prog = prog_of_func (pressure_func ~width:8 ~iters:5) in
+  let trace = Lsra.Trace.create () in
+  ignore
+    (Lsra.Allocator.pipeline ~verify:true ~passes:Lsra.Passes.all ~trace
+       Lsra.Allocator.default_second_chance machine prog);
+  (match Lsra.Trace.well_formed (Lsra.Trace.events trace) with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "trace not well-formed: %s" e);
+  let begins, ends =
+    List.fold_left
+      (fun (b, e) (ev : Lsra.Trace.event) ->
+        match ev with
+        | Lsra.Trace.Pass_begin { pass } -> (pass :: b, e)
+        | Lsra.Trace.Pass_end { pass; _ } -> (b, pass :: e)
+        | _ -> (b, e))
+      ([], []) (Lsra.Trace.events trace)
+  in
+  Alcotest.(check (list string)) "pass begins, in order"
+    [ "copyprop"; "dce"; "motion"; "peephole"; "slots" ]
+    (List.rev begins);
+  Alcotest.(check (list string)) "matching ends" (List.rev begins)
+    (List.rev ends)
+
+let test_pipeline_records_pass_times () =
+  (* each managed pass books wall time under its own stats counter *)
+  let machine = Machine.small ~int_regs:4 ~float_regs:4 () in
+  let prog = prog_of_func (pressure_func ~width:8 ~iters:5) in
+  let stats =
+    Lsra.Allocator.pipeline ~passes:Lsra.Passes.all
+      Lsra.Allocator.default_second_chance machine prog
+  in
+  List.iter
+    (fun (name, t) ->
+      Alcotest.(check bool) (name ^ " time booked") true (t >= 0.))
+    [
+      ("copyprop", stats.Lsra.Stats.time_copyprop);
+      ("dce", stats.Lsra.Stats.time_dce);
+      ("motion", stats.Lsra.Stats.time_motion);
+      ("peephole", stats.Lsra.Stats.time_peephole);
+      ("slots", stats.Lsra.Stats.time_slots);
+    ]
 
 let test_parallel_allocation_deterministic () =
   (* run_program ~jobs must produce the very same allocated program and
@@ -161,6 +279,15 @@ let suite =
       test_pipeline_verifies_all_algorithms;
     Alcotest.test_case "pipeline cleanup composes with verify" `Quick
       test_pipeline_cleanup_verifies;
+    Alcotest.test_case "passes parse round-trips" `Quick test_passes_parse;
+    Alcotest.test_case "pipeline with empty pass list runs nothing" `Quick
+      test_pipeline_empty_passes;
+    Alcotest.test_case "pipeline oracle sandwich order" `Quick
+      test_pipeline_check_each_order;
+    Alcotest.test_case "pipeline trace brackets every pass" `Quick
+      test_pipeline_trace_brackets;
+    Alcotest.test_case "pipeline records per-pass times" `Quick
+      test_pipeline_records_pass_times;
     Alcotest.test_case "parallel allocation is deterministic" `Quick
       test_parallel_allocation_deterministic;
     Alcotest.test_case "allocator names" `Quick test_allocator_names;

@@ -95,11 +95,12 @@ let tests =
 
 let suite = List.map (QCheck_alcotest.to_alcotest ~long:false) tests
 
-(* Full extended pipeline: precheck → DCE → allocate → verify → motion
-   cleanup → slot compaction → RPO relayout beforehand — everything
-   composed, differentially. *)
-let run_full_pipeline ~mname machine ~aname alloc seed =
-  ignore aname;
+(* Full managed pipeline, under the oracle sandwich: RPO relayout, then
+   Diffexec.check_pipeline runs every pass (copyprop, dce, allocation,
+   motion, peephole, slots), re-interpreting after each one and
+   re-verifying every post-allocation stage. Any divergence — from the
+   allocator or pinned to a cleanup pass — fails the property. *)
+let run_full_pipeline ~mname machine ~aname algo seed =
   let params =
     {
       Lsra_workloads.Gen.default_params with
@@ -110,52 +111,33 @@ let run_full_pipeline ~mname machine ~aname alloc seed =
     }
   in
   let prog = Lsra_workloads.Gen.program ~params machine in
-  let input = "pipeline" in
-  let reference = Lsra_sim.Interp.run machine prog ~input in
-  let copy = Program.copy prog in
-  Lsra.Layout.apply_rpo_program copy;
-  List.iter
-    (fun (_, f) ->
-      Lsra.Precheck.run machine f;
-      ignore (Lsra_analysis.Dce.run_to_fixpoint f);
-      let original = Func.copy f in
-      alloc machine f;
-      (match Lsra.Verify.check machine ~original ~allocated:f with
-      | Ok () -> ()
-      | Error e ->
-        QCheck.Test.fail_reportf "[%s seed %d] verifier: %s (%s)" mname seed
-          e.Lsra.Verify.what e.Lsra.Verify.where);
-      ignore (Lsra.Motion.run f);
-      ignore (Lsra.Slots.run f);
-      ignore (Lsra.Peephole.run f))
-    (Program.funcs copy);
-  let allocated = Lsra_sim.Interp.run machine copy ~input in
-  match reference, allocated with
-  | Ok r, Ok a ->
-    if r.Lsra_sim.Interp.output <> a.Lsra_sim.Interp.output then
-      QCheck.Test.fail_reportf "[%s seed %d] output mismatch" mname seed
-    else true
-  | Error e, _ ->
-    QCheck.Test.fail_reportf "[%s seed %d] reference trapped: %s" mname seed e
-  | Ok _, Error e ->
-    QCheck.Test.fail_reportf "[%s seed %d] pipeline trapped: %s" mname seed e
+  Lsra.Layout.apply_rpo_program prog;
+  match
+    Lsra_sim.Diffexec.check_pipeline ~input:"pipeline"
+      ~passes:Lsra.Passes.all machine algo prog
+  with
+  | Ok _stats -> true
+  | Error d ->
+    QCheck.Test.fail_reportf "[%s/%s seed %d] %s" mname aname seed
+      (Lsra_sim.Diffexec.divergence_to_string d)
 
 let pipeline_tests =
   List.concat_map
     (fun (mname, machine) ->
       List.map
-        (fun (aname, alloc) ->
+        (fun algo ->
           QCheck.Test.make
             ~name:
-              (Printf.sprintf "full pipeline %s on %s (motion+slots+rpo)"
-                 aname mname)
-            ~count:15
+              (Printf.sprintf "full pipeline %s on %s (all passes)"
+                 (Lsra.Allocator.short_name algo)
+                 mname)
+            ~count:10
             QCheck.(int_range 0 100_000)
-            (fun seed -> run_full_pipeline ~mname machine ~aname alloc seed))
-        [
-          ("second-chance", fun m f -> ignore (Lsra.Second_chance.run m f));
-          ("coloring", fun m f -> ignore (Lsra.Coloring.run m f));
-        ])
+            (fun seed ->
+              run_full_pipeline ~mname machine
+                ~aname:(Lsra.Allocator.short_name algo)
+                algo seed))
+        Lsra.Allocator.all)
     [
       ("alpha", Machine.alpha_like);
       ("tiny-4", Machine.small ~int_regs:4 ~float_regs:4 ());
