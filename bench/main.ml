@@ -48,6 +48,23 @@ let jobs =
     | Some 0 -> Domain.recommended_domain_count ()
     | Some _ | None -> env_failure name s "an integer >= 0")
 
+(* Artifact directory for the machine-readable dumps (BENCH_alloc.json,
+   BENCH_service.json): LSRA_BENCH_OUT when set (created if missing), so
+   CI can archive artifacts from any working directory; cwd otherwise. *)
+let bench_out_path file =
+  match Sys.getenv_opt "LSRA_BENCH_OUT" with
+  | None | Some "" -> file
+  | Some dir ->
+    let rec mkdirs d =
+      if d <> "" && d <> "." && d <> "/" && not (Sys.file_exists d) then begin
+        mkdirs (Filename.dirname d);
+        try Unix.mkdir d 0o755
+        with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+      end
+    in
+    mkdirs dir;
+    Filename.concat dir file
+
 (* ------------------------------------------------------------------ *)
 (* Shared plumbing                                                     *)
 
@@ -559,11 +576,180 @@ let perfdump () =
      \"speedup\": %.3f }\n\
      }\n"
     !total_seq !total_par (!total_seq /. !total_par);
-  Out_channel.with_open_text "BENCH_alloc.json" (fun oc ->
+  let out = bench_out_path "BENCH_alloc.json" in
+  Out_channel.with_open_text out (fun oc ->
       Out_channel.output_string oc (Buffer.contents buf));
   Printf.printf
-    "total: seq %.4fs, %d jobs %.4fs, speedup %.2f — wrote BENCH_alloc.json\n"
-    !total_seq jobs !total_par (!total_seq /. !total_par)
+    "total: seq %.4fs, %d jobs %.4fs, speedup %.2f — wrote %s\n"
+    !total_seq jobs !total_par (!total_seq /. !total_par) out
+
+(* ------------------------------------------------------------------ *)
+
+(* service: replay the whole workload corpus as a request stream through
+   the allocation service, twice — a cold pass that fills the
+   content-addressed cache and a warm pass that should be served almost
+   entirely from it — plus a deadline pass that exercises the
+   degradation ladder. Reports warm/cold hit rate, p50/p99 latency,
+   downgrade count and throughput into BENCH_service.json, and
+   spot-checks a sample of warm responses against a direct
+   [Allocator.pipeline] run (byte-identical or exit 4). *)
+let service () =
+  let passes = Lsra.Passes.default in
+  let corpus_sources =
+    List.map
+      (fun (case : Lsra_workloads.Specbench.case) ->
+        ( "spec:" ^ case.Lsra_workloads.Specbench.name,
+          Lsra_text.Ir_text.to_string case.Lsra_workloads.Specbench.program ))
+      (cases ())
+    @ List.map
+        (fun shape ->
+          ( "pressure:" ^ shape.Lsra_workloads.Pressure.sname,
+            Lsra_text.Ir_text.to_string
+              (Lsra_workloads.Pressure.build machine shape) ))
+        [
+          Lsra_workloads.Pressure.cvrin;
+          Lsra_workloads.Pressure.twldrv;
+          Lsra_workloads.Pressure.fpppp;
+        ]
+    @ List.filter_map
+        (fun { Lsra_workloads.Mini_corpus.mname; source; minput = _ } ->
+          match Lsra_frontend.Minilang.compile machine source with
+          | prog -> Some ("mini:" ^ mname, Lsra_text.Ir_text.to_string prog)
+          | exception Lsra_frontend.Lower.Error _ -> None)
+        Lsra_workloads.Mini_corpus.all
+  in
+  let n = List.length corpus_sources in
+  let cfg =
+    {
+      (Lsra_service.Service.default_config machine) with
+      Lsra_service.Service.spot_check = 4;
+    }
+  in
+  let svc = Lsra_service.Service.create cfg in
+  let sched = Lsra_service.Scheduler.create ~capacity:32 ~jobs svc in
+  let requests tag ?deadline algo =
+    List.map
+      (fun (name, source) ->
+        Lsra_service.Service.request ~algo ~passes ?deadline
+          ~id:(tag ^ ":" ^ name) source)
+      corpus_sources
+  in
+  let replay tag ?deadline algo =
+    let t0 = Unix.gettimeofday () in
+    let results =
+      Lsra_service.Scheduler.run_batch sched (requests tag ?deadline algo)
+    in
+    let wall = Unix.gettimeofday () -. t0 in
+    let responses =
+      List.map
+        (function
+          | Ok r -> r
+          | Error e ->
+            Printf.eprintf "bench service: %s request failed: %s\n%!" tag
+              (Lsra_service.Protocol.err_message_of_exn e);
+            exit (max 1 (Lsra_service.Protocol.err_code_of_exn e)))
+        results
+    in
+    (responses, wall)
+  in
+  let latencies rs =
+    let a =
+      Array.of_list (List.map (fun r -> r.Lsra_service.Service.elapsed) rs)
+    in
+    Array.sort compare a;
+    a
+  in
+  let pct a p =
+    if Array.length a = 0 then 0.
+    else a.(int_of_float (p *. float_of_int (Array.length a - 1)))
+  in
+  let binpack = Lsra.Allocator.default_second_chance in
+  let cold, cold_wall = replay "cold" binpack in
+  let after_cold = Lsra_service.Service.counters svc in
+  let warm, warm_wall = replay "warm" binpack in
+  let after_warm = Lsra_service.Service.counters svc in
+  let warm_hits =
+    after_warm.Lsra_service.Service.cache.Lsra_service.Cache.hits
+    - after_cold.Lsra_service.Service.cache.Lsra_service.Cache.hits
+  in
+  let warm_hit_rate = float_of_int warm_hits /. float_of_int (max 1 n) in
+  (* Deadline pass: graph coloring under a budget no corpus module can
+     meet forces the quality/speed dial all the way down the ladder. *)
+  let deadline, _ =
+    replay "deadline" ~deadline:1e-9 Lsra.Allocator.Graph_coloring
+  in
+  let downgrades =
+    List.length
+      (List.filter
+         (fun r -> r.Lsra_service.Service.downgraded_to <> None)
+         deadline)
+  in
+  (* Differential spot-check: every warm response must be byte-identical
+     to a direct pipeline run of the same source under the same config. *)
+  let spot_divergences = ref 0 in
+  List.iter2
+    (fun (name, source) (r : Lsra_service.Service.response) ->
+      let prog = Lsra_text.Ir_text.of_string source in
+      ignore (Lsra.Allocator.pipeline ~passes binpack machine prog);
+      let direct = Lsra_text.Ir_text.to_string prog in
+      if not (String.equal direct r.Lsra_service.Service.output) then begin
+        incr spot_divergences;
+        Printf.eprintf "bench service: DIVERGENCE on %s (served != direct)\n%!"
+          name
+      end)
+    corpus_sources warm;
+  let cold_lat = latencies cold and warm_lat = latencies warm in
+  let final = Lsra_service.Service.counters svc in
+  let c = final.Lsra_service.Service.cache in
+  let buf = Buffer.create 2048 in
+  Printf.bprintf buf
+    "{\n  \"machine\": %S,\n  \"scale\": %d,\n  \"jobs\": %d,\n\
+    \  \"requests\": %d,\n"
+    (Machine.name machine) scale jobs n;
+  Printf.bprintf buf
+    "  \"cold\": { \"wall_s\": %.6f, \"p50_s\": %.6f, \"p99_s\": %.6f, \
+     \"throughput_rps\": %.1f },\n"
+    cold_wall (pct cold_lat 0.50) (pct cold_lat 0.99)
+    (float_of_int n /. cold_wall);
+  Printf.bprintf buf
+    "  \"warm\": { \"wall_s\": %.6f, \"p50_s\": %.6f, \"p99_s\": %.6f, \
+     \"throughput_rps\": %.1f, \"hit_rate\": %.3f },\n"
+    warm_wall (pct warm_lat 0.50) (pct warm_lat 0.99)
+    (float_of_int n /. warm_wall)
+    warm_hit_rate;
+  Printf.bprintf buf
+    "  \"cache\": { \"hits\": %d, \"misses\": %d, \"evictions\": %d, \
+     \"entries\": %d, \"bytes\": %d },\n"
+    c.Lsra_service.Cache.hits c.Lsra_service.Cache.misses
+    c.Lsra_service.Cache.evictions c.Lsra_service.Cache.entries
+    c.Lsra_service.Cache.bytes;
+  Printf.bprintf buf
+    "  \"downgrades\": %d,\n  \"spot_checks\": %d,\n\
+    \  \"diffexec_spot\": { \"checked\": %d, \"divergences\": %d }\n}\n"
+    final.Lsra_service.Service.downgrades
+    final.Lsra_service.Service.spot_checks n !spot_divergences;
+  let out = bench_out_path "BENCH_service.json" in
+  Out_channel.with_open_text out (fun oc ->
+      Out_channel.output_string oc (Buffer.contents buf));
+  Printf.printf
+    "service: %d requests, cold p50 %.2fms p99 %.2fms, warm p50 %.2fms \
+     p99 %.2fms\n"
+    n
+    (1e3 *. pct cold_lat 0.50)
+    (1e3 *. pct cold_lat 0.99)
+    (1e3 *. pct warm_lat 0.50)
+    (1e3 *. pct warm_lat 0.99);
+  Printf.printf
+    "service: warm hit rate %.1f%% (%d/%d), %d downgrades in the deadline \
+     pass, %d spot checks, %d divergences — wrote %s\n"
+    (100. *. warm_hit_rate) warm_hits n downgrades
+    final.Lsra_service.Service.spot_checks !spot_divergences out;
+  if !spot_divergences > 0 then exit 4;
+  if warm_hit_rate < 0.9 then begin
+    Printf.eprintf "bench service: warm hit rate %.3f below the 0.9 bar\n%!"
+      warm_hit_rate;
+    exit 1
+  end
 
 (* ------------------------------------------------------------------ *)
 
@@ -676,6 +862,7 @@ let () =
   | "corpus" -> corpus ()
   | "bechamel" -> bechamel ()
   | "perfdump" -> perfdump ()
+  | "service" -> service ()
   | "fuzz" -> fuzz ()
   | "all" ->
     table1 ();
@@ -690,6 +877,6 @@ let () =
   | other ->
     Printf.eprintf
       "unknown benchmark %S (expected \
-       table1|table2|figure3|table3|twopass|ablation|layout|frames|corpus|bechamel|perfdump|fuzz|all)\n"
+       table1|table2|figure3|table3|twopass|ablation|layout|frames|corpus|bechamel|perfdump|service|fuzz|all)\n"
       other;
     exit 2

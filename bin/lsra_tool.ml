@@ -527,6 +527,94 @@ let trace_cmd =
           replay-checked against the allocator's statistics before exiting.")
     Term.(const run $ file_arg $ fn_arg $ machine_arg $ algo_arg $ format_arg)
 
+let serve_cmd =
+  let socket_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH"
+          ~doc:
+            "Serve over a Unix-domain socket bound at $(docv) instead of \
+             stdin/stdout; connections are accepted one at a time until a \
+             QUIT frame.")
+  in
+  let cache_bytes_arg =
+    Arg.(
+      value
+      & opt int (64 * 1024 * 1024)
+      & info [ "cache-bytes" ] ~docv:"N"
+          ~doc:"Result-cache payload budget in bytes (0 disables caching).")
+  in
+  let cache_entries_arg =
+    Arg.(
+      value & opt int 4096
+      & info [ "cache-entries" ] ~docv:"N"
+          ~doc:"Result-cache entry budget (0 disables caching).")
+  in
+  let queue_arg =
+    Arg.(
+      value & opt int 64
+      & info [ "queue" ] ~docv:"N"
+          ~doc:
+            "Bounded request-queue capacity: reaching it processes the \
+             pending batch even without a FLUSH frame.")
+  in
+  let spot_check_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "spot-check" ] ~docv:"N"
+          ~doc:
+            "Re-allocate every $(docv)-th cache hit from scratch and \
+             require byte-identical output (0 disables). A divergence is \
+             reported as an ERR 4 frame and makes the server exit 4.")
+  in
+  let no_verify_arg =
+    Arg.(
+      value & flag
+      & info [ "no-verify" ]
+          ~doc:"Skip the abstract verifier on cold fills (it is on by \
+                default in serving mode).")
+  in
+  let run machine jobs socket cache_bytes cache_entries queue spot_check
+      no_verify =
+    handle_errors (fun () ->
+        let cfg =
+          {
+            (Lsra_service.Service.default_config machine) with
+            Lsra_service.Service.verify_cold = not no_verify;
+            spot_check;
+            cache_bytes;
+            cache_entries;
+          }
+        in
+        let svc = Lsra_service.Service.create cfg in
+        let sched =
+          Lsra_service.Scheduler.create ~capacity:queue ~jobs svc
+        in
+        let severity =
+          match socket with
+          | None -> Lsra_service.Server.serve_stdio sched
+          | Some path -> Lsra_service.Server.serve_socket sched path
+        in
+        if severity > 0 then exit severity)
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the allocation service: newline-framed textual-IR requests \
+          (REQ/END frames, batched by FLUSH or a full queue) over \
+          stdin/stdout or a Unix socket, answered from a content-addressed \
+          result cache with LRU eviction. Requests may carry a \
+          deadline-ms compile budget; when the requested allocator's \
+          predicted time would blow it, the service downgrades to a \
+          cheaper linear-scan variant (recorded in the response header \
+          and the statistics). Exits 0 normally, 3 if any cold \
+          allocation was rejected by the verifier, 4 if a cache \
+          spot-check found a divergence.")
+    Term.(
+      const run $ machine_arg $ jobs_arg $ socket_arg $ cache_bytes_arg
+      $ cache_entries_arg $ queue_arg $ spot_check_arg $ no_verify_arg)
+
 let () =
   let default = Term.(ret (const (`Help (`Pager, None)))) in
   exit
@@ -546,4 +634,5 @@ let () =
             exec_cmd;
             diffcheck_cmd;
             trace_cmd;
+            serve_cmd;
           ]))

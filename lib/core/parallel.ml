@@ -1,64 +1,70 @@
 open Lsra_ir
 
-(* Per-function passes are independent: nothing in the allocation path
-   shares mutable state across functions (instruction uids come from an
-   atomic counter). Work is handed out through an atomic cursor, one
-   function at a time, so a domain stuck on a large function does not
-   hold back the others.
+(* Work items are independent: nothing in the allocation path shares
+   mutable state across functions (instruction uids come from an atomic
+   counter). Work is handed out through an atomic cursor, one item at a
+   time, so a domain stuck on a large item does not hold back the others.
 
    Exceptions: a worker never lets one escape into Domain.join. Each
-   worker returns either its local stats or the first exception it hit
-   (with backtrace); the failing worker also parks the cursor past the
-   end so the other domains drain quickly. After every helper has been
-   joined, the first recorded error is re-raised — no leaked domains, no
-   lost exceptions. *)
+   worker returns either normally or the first exception it hit (with
+   backtrace); the failing worker also parks the cursor past the end so
+   the other domains drain quickly. After every helper has been joined,
+   the first recorded error is re-raised — no leaked domains, no lost
+   exceptions. *)
 
-type 'a worker_result = Done of 'a | Failed of exn * Printexc.raw_backtrace
+type worker_result = Done | Failed of exn * Printexc.raw_backtrace
 
-let fold_stats ?(jobs = 1) prog pass =
-  let funcs = Array.of_list (Program.funcs prog) in
-  let n = Array.length funcs in
+let resolve_jobs jobs n =
   let jobs = if jobs <= 0 then Domain.recommended_domain_count () else jobs in
-  let jobs = min jobs (max 1 n) in
-  if jobs <= 1 then begin
-    let total = Stats.create () in
-    Array.iter (fun (_, f) -> Stats.add ~into:total (pass f)) funcs;
-    total
-  end
+  min jobs (max 1 n)
+
+let map_array ?(jobs = 1) items f =
+  let n = Array.length items in
+  let jobs = resolve_jobs jobs n in
+  if jobs <= 1 then Array.map f items
   else begin
+    (* Results land at their item's index, so the output order — and
+       anything folded over it — is independent of domain scheduling. *)
+    let results = Array.make n None in
     let next = Atomic.make 0 in
     let worker () =
       try
-        let local = Stats.create () in
         let running = ref true in
         while !running do
           let i = Atomic.fetch_and_add next 1 in
           if i >= n then running := false
-          else begin
-            let _, f = funcs.(i) in
-            Stats.add ~into:local (pass f)
-          end
+          else results.(i) <- Some (f items.(i))
         done;
-        Done local
+        Done
       with e ->
         let bt = Printexc.get_raw_backtrace () in
-        (* Stop handing out work: the allocation is aborting anyway. *)
+        (* Stop handing out work: the whole map is aborting anyway. *)
         Atomic.set next n;
         Failed (e, bt)
     in
     let helpers = Array.init (jobs - 1) (fun _ -> Domain.spawn worker) in
     let mine = worker () in
-    let results = Array.map Domain.join helpers in
-    let total = Stats.create () in
+    let outcomes = Array.map Domain.join helpers in
     let first_error = ref None in
     let consider = function
-      | Done local -> Stats.add ~into:total local
-      | Failed (e, bt) ->
-        if !first_error = None then first_error := Some (e, bt)
+      | Done -> ()
+      | Failed (e, bt) -> if !first_error = None then first_error := Some (e, bt)
     in
     consider mine;
-    Array.iter consider results;
+    Array.iter consider outcomes;
     match !first_error with
     | Some (e, bt) -> Printexc.raise_with_backtrace e bt
-    | None -> total
+    | None ->
+      Array.map
+        (function
+          | Some r -> r
+          | None -> invalid_arg "Parallel.map_array: unfilled slot")
+        results
   end
+
+let fold_stats ?(jobs = 1) prog pass =
+  let funcs = Array.of_list (Program.funcs prog) in
+  let per_func = map_array ~jobs funcs (fun (_, f) -> pass f) in
+  let total = Stats.create () in
+  Array.iter (fun s -> Stats.add ~into:total s) per_func;
+  total

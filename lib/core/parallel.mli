@@ -1,26 +1,34 @@
-(** Domain-parallel fan-out of per-function passes.
+(** Domain-parallel fan-out of independent work items.
 
     Register allocation is embarrassingly parallel across functions, and
     the paper's whole argument is compile-time: spreading the per-function
     work over a few domains buys wall-clock time without touching the
-    algorithm. *)
+    algorithm. The same cursor-based pool also fans whole compile
+    {e requests} across domains for the allocation service
+    ([Lsra_service.Scheduler]). *)
 
 open Lsra_ir
 
-(** [fold_stats ?jobs prog pass] runs [pass] on every function of [prog]
-    and returns the {!Stats.add}-merged totals.
+(** [map_array ?jobs items f] computes [f] on every element of [items]
+    and returns the results in item order.
 
     [jobs <= 1] (the default) runs sequentially on the calling domain —
-    no domains are spawned, and behaviour is exactly the pre-parallel
-    fold. [jobs = 0] picks [Domain.recommended_domain_count ()]. With
-    [jobs > 1], functions are handed out through an atomic cursor to
-    [jobs] domains (the caller's included); [pass] must therefore only
-    touch the function it is given. Allocation results and merged
-    counters are identical to a sequential run — only the order in which
-    functions are processed changes.
+    no domains are spawned. [jobs = 0] picks
+    [Domain.recommended_domain_count ()]. With [jobs > 1], items are
+    handed out through an atomic cursor to [jobs] domains (the caller's
+    included); [f] must therefore only touch the item it is given.
+    Results are placed at their item's index, so the returned array is
+    identical to [Array.map f items] — only the order in which items are
+    processed changes.
 
-    If [pass] raises (on any domain), every spawned helper is still
-    joined before the call returns, and the first exception observed is
+    If [f] raises (on any domain), every spawned helper is still joined
+    before the call returns, and the first exception observed is
     re-raised with its backtrace — no domain is leaked and no error is
     swallowed. *)
+val map_array : ?jobs:int -> 'a array -> ('a -> 'b) -> 'b array
+
+(** [fold_stats ?jobs prog pass] runs [pass] on every function of [prog]
+    via {!map_array} and returns the {!Stats.add}-merged totals, merged
+    in function order. Allocation results and merged counters are
+    identical to a sequential run. *)
 val fold_stats : ?jobs:int -> Program.t -> (Func.t -> Stats.t) -> Stats.t

@@ -11,6 +11,7 @@ type t = {
   mutable coloring_iterations : int;
   mutable interference_edges : int;
   mutable coalesced_moves : int;
+  mutable downgrades : int;
   mutable alloc_time : float;
   mutable time_liveness : float;
   mutable time_lifetime : float;
@@ -48,6 +49,7 @@ let create () =
     coloring_iterations = 0;
     interference_edges = 0;
     coalesced_moves = 0;
+    downgrades = 0;
     alloc_time = 0.;
     time_liveness = 0.;
     time_lifetime = 0.;
@@ -114,6 +116,7 @@ let add ~into s =
     max into.coloring_iterations s.coloring_iterations;
   into.interference_edges <- into.interference_edges + s.interference_edges;
   into.coalesced_moves <- into.coalesced_moves + s.coalesced_moves;
+  into.downgrades <- into.downgrades + s.downgrades;
   into.alloc_time <- into.alloc_time +. s.alloc_time;
   into.time_liveness <- into.time_liveness +. s.time_liveness;
   into.time_lifetime <- into.time_lifetime +. s.time_lifetime;
@@ -136,6 +139,8 @@ let pp fmt s =
   if s.frame_saved > 0 then
     Format.fprintf fmt "@,@[<v>frame words saved by slot compaction: %d@]"
       s.frame_saved;
+  if s.downgrades > 0 then
+    Format.fprintf fmt "@,@[<v>deadline downgrades: %d@]" s.downgrades;
   let ttotal =
     s.time_liveness +. s.time_lifetime +. s.time_scan +. s.time_resolution
     +. s.time_copyprop +. s.time_dce +. s.time_motion +. s.time_peephole

@@ -18,6 +18,9 @@ type t = {
   mutable coloring_iterations : int;
   mutable interference_edges : int;
   mutable coalesced_moves : int;
+  mutable downgrades : int;
+      (** deadline-driven algorithm downgrades taken by the allocation
+          service (see [Lsra_service.Service]) *)
   mutable alloc_time : float;  (** seconds spent inside the allocator *)
   mutable time_liveness : float;  (** wall seconds, per pass, below *)
   mutable time_lifetime : float;

@@ -90,6 +90,13 @@ type event =
   | Pass_begin of { pass : string }
   | Pass_end of { pass : string; changed : int }
   | Slot_renumber of { fn : string; from_slot : int; to_slot : int }
+  | Downgrade of {
+      req : string;
+      from_algo : string;
+      to_algo : string;
+      budget : float;
+      predicted : float;
+    }
 
 type t = { mutable rev : event list; mutable n : int }
 
@@ -172,7 +179,10 @@ let text_of_event buf ev =
   | Pass_begin { pass } -> add "pass %s begin" pass
   | Pass_end { pass; changed } -> add "pass %s end changed=%d" pass changed
   | Slot_renumber { fn; from_slot; to_slot } ->
-      add "  slot-renumber %s: slot%d -> slot%d" fn from_slot to_slot);
+      add "  slot-renumber %s: slot%d -> slot%d" fn from_slot to_slot
+  | Downgrade { req; from_algo; to_algo; budget; predicted } ->
+      add "downgrade %s: %s -> %s (budget %.6fs, predicted %.6fs)" req
+        from_algo to_algo budget predicted);
   Buffer.add_char buf '\n'
 
 let to_text evs =
@@ -333,6 +343,13 @@ let json_of_event ev =
           ("ev", S "slot_renumber"); ("fn", S fn); ("from_slot", I from_slot);
           ("to_slot", I to_slot);
         ]
+  | Downgrade { req; from_algo; to_algo; budget; predicted } ->
+      json_obj
+        [
+          ("ev", S "downgrade"); ("req", S req); ("from", S from_algo);
+          ("to", S to_algo); ("budget_s", F budget);
+          ("predicted_s", F predicted);
+        ]
 
 let to_jsonl evs =
   let buf = Buffer.create 4096 in
@@ -484,8 +501,9 @@ let well_formed ?(strict = false) evs =
       | Resolve_load { slot; _ } -> require_slot "resolve_load" slot
       | Resolve_move _ -> require_fn "resolve_move"
       (* Pipeline-level events: legal anywhere, including outside any
-         [Fn] section (pre-allocation passes run before the first one). *)
-      | Pass_begin _ | Pass_end _ | Slot_renumber _ -> ())
+         [Fn] section (pre-allocation passes run before the first one;
+         a service downgrade is decided before allocation starts). *)
+      | Pass_begin _ | Pass_end _ | Slot_renumber _ | Downgrade _ -> ())
     evs;
   if !in_fn then end_section !cur_fn;
   match !err with None -> Ok () | Some e -> Error e

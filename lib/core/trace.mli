@@ -133,6 +133,19 @@ type event =
           instructions (for slot compaction: frame words saved) *)
   | Slot_renumber of { fn : string; from_slot : int; to_slot : int }
       (** slot compaction rehomed a spill slot of function [fn] *)
+  | Downgrade of {
+      req : string;  (** the service request (or function) downgraded *)
+      from_algo : string;  (** requested allocator, by short name *)
+      to_algo : string;  (** allocator actually run, by short name *)
+      budget : float;  (** the request's compile budget, seconds *)
+      predicted : float;
+          (** the cost model's estimate for [from_algo], seconds *)
+    }
+      (** the allocation service traded quality for speed: the requested
+          allocator's predicted compile time exceeded the request's
+          deadline, so a cheaper linear-scan variant ran instead (the
+          paper's §4 quality/speed dial). Pipeline-level, so legal
+          outside any {!Fn} section. *)
 
 (** A collecting sink. *)
 type t

@@ -1,0 +1,43 @@
+open Lsra_ir
+open Lsra_target
+
+let machine_fingerprint m =
+  let per_class cls =
+    Printf.sprintf "%s:regs=%d,caller=%d,args=%d" (Rclass.to_string cls)
+      (Machine.n_regs m cls)
+      (List.length (Machine.caller_saved m cls))
+      (match cls with
+      | Rclass.Int -> List.length (Machine.int_args m)
+      | Rclass.Float -> List.length (Machine.float_args m))
+  in
+  Printf.sprintf "%s{%s}" (Machine.name m)
+    (String.concat ";" (List.map per_class Rclass.all))
+
+let algo_fingerprint (algo : Lsra.Allocator.algorithm) =
+  match algo with
+  | Second_chance opts ->
+    Printf.sprintf "binpack{esc=%b,moveopt=%b,consistency=%s}"
+      opts.Lsra.Binpack.early_second_chance opts.Lsra.Binpack.move_opt
+      (match opts.Lsra.Binpack.consistency with
+      | Lsra.Binpack.Iterative -> "iterative"
+      | Lsra.Binpack.Conservative -> "conservative")
+  | Two_pass -> "twopass"
+  | Poletto -> "poletto"
+  | Graph_coloring -> "gc"
+
+let digest ~machine ~algo ~passes prog =
+  (* NUL separators: no component can masquerade as another by embedding
+     a delimiter (the canonical IR text never contains NUL). *)
+  let key =
+    String.concat "\x00"
+      [
+        machine_fingerprint machine;
+        algo_fingerprint algo;
+        Lsra.Passes.to_spec (Lsra.Passes.normalize passes);
+        Lsra_text.Ir_text.to_string prog;
+      ]
+  in
+  Digest.to_hex (Digest.string key)
+
+let digest_source ~machine ~algo ~passes source =
+  digest ~machine ~algo ~passes (Lsra_text.Ir_text.of_string source)

@@ -1,0 +1,108 @@
+type header =
+  | H_req of {
+      id : string;
+      algo : Lsra.Allocator.algorithm;
+      passes : Lsra.Passes.t list;
+      deadline : float option;
+    }
+  | H_flush
+  | H_stats of string
+  | H_quit
+
+let split_words s =
+  String.split_on_char ' ' s |> List.filter (fun w -> w <> "")
+
+(* Request ids are echoed into response headers, which are themselves
+   newline-framed and space-separated: confine ids to one token. *)
+let valid_id id =
+  id <> ""
+  && String.for_all
+       (fun c ->
+         match c with
+         | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '-' | '_' | '.' | ':' -> true
+         | _ -> false)
+       id
+
+let parse_opt (algo, passes, deadline) word =
+  match String.index_opt word '=' with
+  | None -> Error (Printf.sprintf "malformed option %S (expected k=v)" word)
+  | Some i -> (
+    let k = String.sub word 0 i in
+    let v = String.sub word (i + 1) (String.length word - i - 1) in
+    match k with
+    | "algo" -> (
+      match Service.algo_of_name v with
+      | Some a -> Ok (a, passes, deadline)
+      | None -> Error (Printf.sprintf "unknown allocator %S" v))
+    | "passes" -> (
+      match Lsra.Passes.parse v with
+      | Ok ps -> Ok (algo, ps, deadline)
+      | Error m -> Error m)
+    | "deadline-ms" -> (
+      match float_of_string_opt v with
+      | Some ms when ms >= 0. -> Ok (algo, passes, Some (ms /. 1e3))
+      | Some _ | None ->
+        Error (Printf.sprintf "malformed deadline-ms %S" v))
+    | _ -> Error (Printf.sprintf "unknown option %S" k))
+
+let parse_header line =
+  match split_words line with
+  | [ "FLUSH" ] -> Ok H_flush
+  | [ "QUIT" ] -> Ok H_quit
+  | [ "STATS"; id ] when valid_id id -> Ok (H_stats id)
+  | "REQ" :: id :: opts when valid_id id ->
+    let init =
+      (Lsra.Allocator.default_second_chance, Lsra.Passes.default, None)
+    in
+    let folded =
+      List.fold_left
+        (fun acc w -> Result.bind acc (fun triple -> parse_opt triple w))
+        (Ok init) opts
+    in
+    Result.map
+      (fun (algo, passes, deadline) -> H_req { id; algo; passes; deadline })
+      folded
+  | "REQ" :: _ -> Error "REQ needs an id ([A-Za-z0-9._:-]+)"
+  | "STATS" :: _ -> Error "STATS needs an id ([A-Za-z0-9._:-]+)"
+  | w :: _ -> Error (Printf.sprintf "unknown frame %S" w)
+  | [] -> Error "empty header line"
+
+let render_ok (r : Service.response) =
+  Printf.sprintf "OK %s cache=%s%s wall-us=%d" r.Service.resp_id
+    (if r.Service.cached then "hit" else "cold")
+    (match r.Service.downgraded_to with
+    | None -> ""
+    | Some a -> " downgraded-to=" ^ a)
+    (int_of_float (1e6 *. r.Service.elapsed))
+
+let one_line s =
+  String.map (function '\n' | '\r' -> ' ' | c -> c) s
+
+let render_err ~id ~code msg =
+  Printf.sprintf "ERR %s %d %s" id code (one_line msg)
+
+let render_stats ~id (c : Service.service_counters) =
+  Printf.sprintf
+    "STATS %s requests=%d hits=%d misses=%d evictions=%d entries=%d \
+     bytes=%d downgrades=%d spot-checks=%d"
+    id c.Service.requests c.Service.cache.Cache.hits
+    c.Service.cache.Cache.misses c.Service.cache.Cache.evictions
+    c.Service.cache.Cache.entries c.Service.cache.Cache.bytes
+    c.Service.downgrades c.Service.spot_checks
+
+let err_code_of_exn = function
+  | Service.Spot_check_failed _ -> 4
+  | Lsra.Verify.Mismatch _ -> 3
+  | _ -> 1
+
+let err_message_of_exn = function
+  | Service.Spot_check_failed { req_id = _; key } ->
+    Printf.sprintf "spot-check divergence on cache key %s" key
+  | Lsra.Verify.Mismatch { fn; block; where; what } ->
+    Printf.sprintf "verification failed in function '%s', block '%s', at \
+                    '%s': %s" fn block where what
+  | Lsra_text.Ir_text.Parse_error { line; msg } ->
+    Printf.sprintf "parse error at line %d: %s" line msg
+  | Lsra_ir.Cfg.Malformed msg -> "malformed program: " ^ msg
+  | Lsra.Precheck.Rejected msg -> "input rejected: " ^ msg
+  | e -> Printexc.to_string e

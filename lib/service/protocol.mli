@@ -1,0 +1,55 @@
+(** The newline-framed textual-IR wire protocol.
+
+    Client → server frames:
+    {v
+    REQ <id> [algo=<name>] [passes=<spec>] [deadline-ms=<float>]
+    <textual IR, any number of lines>
+    END
+    FLUSH
+    STATS <id>
+    QUIT
+    v}
+    A [REQ] enqueues one compile request (the program is every line up to
+    the first [END]); [FLUSH] processes the pending batch and writes the
+    responses in submission order; [STATS] flushes, then reports the
+    service counters; [QUIT] (or end of input) flushes and shuts the
+    server down. The bounded queue also flushes itself when full.
+
+    Server → client frames:
+    {v
+    OK <id> cache=hit|cold [downgraded-to=<short>] wall-us=<int>
+    <allocated program, textual IR>
+    END
+    ERR <id> <code> <message>
+    STATS <id> requests=<n> hits=<n> misses=<n> evictions=<n> entries=<n> bytes=<n> downgrades=<n> spot-checks=<n>
+    v}
+    [ERR] codes follow the repository's exit-code contract: 1 = bad
+    input (parse/malformed/rejected), 3 = the abstract verifier rejected
+    the allocation, 4 = a spot-check found a divergence. *)
+
+type header =
+  | H_req of {
+      id : string;
+      algo : Lsra.Allocator.algorithm;
+      passes : Lsra.Passes.t list;
+      deadline : float option;  (** seconds *)
+    }
+  | H_flush
+  | H_stats of string
+  | H_quit
+
+(** Parse one header line (the line that opens a frame). *)
+val parse_header : string -> (header, string) result
+
+(** The [OK] header line (no trailing newline). *)
+val render_ok : Service.response -> string
+
+val render_err : id:string -> code:int -> string -> string
+val render_stats : id:string -> Service.service_counters -> string
+
+(** Map an exception raised while serving a request to its [ERR] code:
+    4 for {!Service.Spot_check_failed}, 3 for [Lsra.Verify.Mismatch],
+    1 otherwise (parse errors, malformed programs, precheck rejects). *)
+val err_code_of_exn : exn -> int
+
+val err_message_of_exn : exn -> string

@@ -1,0 +1,34 @@
+type t = {
+  svc : Service.t;
+  capacity : int;
+  jobs : int;
+  mutable queue : Service.request list;  (* newest first *)
+}
+
+let create ?(capacity = 64) ?(jobs = 1) svc =
+  { svc; capacity = max 1 capacity; jobs; queue = [] }
+
+let service t = t.svc
+let pending t = List.length t.queue
+
+let flush t =
+  let batch = Array.of_list (List.rev t.queue) in
+  t.queue <- [];
+  (* Each request is independent; exceptions stay in their own slot so
+     one malformed request cannot poison a batch (map_array would
+     re-raise and abandon the other results). *)
+  let results =
+    Lsra.Parallel.map_array ~jobs:t.jobs batch (fun req ->
+        match Service.handle t.svc req with
+        | resp -> Ok resp
+        | exception e -> Error e)
+  in
+  Array.to_list results
+
+let submit t req =
+  t.queue <- req :: t.queue;
+  if List.length t.queue >= t.capacity then flush t else []
+
+let run_batch t reqs =
+  let early = List.concat_map (fun r -> submit t r) reqs in
+  early @ flush t

@@ -1,0 +1,37 @@
+(** Batched request scheduling over the domain pool.
+
+    Requests accumulate in a bounded queue; a batch is processed by
+    fanning the requests over [jobs] domains through
+    {!Lsra.Parallel.map_array} — the same atomic-cursor pool that
+    parallelises per-function allocation. Each request is served
+    independently by {!Service.handle} (the shared cache and cost model
+    are mutex-guarded), and responses always come back in submission
+    order, so a batch is {e bit-identical} to serving the same requests
+    sequentially: parallelism changes only which domain runs which
+    request, never any request's output.
+
+    A request whose handling raises (bad input, verifier reject,
+    spot-check divergence) yields an [Error] carrying the exception in
+    that request's slot; the rest of the batch is unaffected. *)
+
+type t
+
+(** [create ~capacity ~jobs service] — [capacity] bounds the pending
+    queue (default 64; reaching it auto-drains), [jobs] is the domain
+    fan-out per batch (default 1 = sequential, 0 = pick for this host). *)
+val create : ?capacity:int -> ?jobs:int -> Service.t -> t
+
+val service : t -> Service.t
+val pending : t -> int
+
+(** Enqueue one request. When the queue reaches capacity the whole batch
+    is processed and returned (in submission order); otherwise []. *)
+val submit : t -> Service.request -> (Service.response, exn) result list
+
+(** Process everything pending; responses in submission order. *)
+val flush : t -> (Service.response, exn) result list
+
+(** [run_batch t reqs] = submit all, flush, return all responses in
+    submission order (any earlier auto-drained responses included). *)
+val run_batch :
+  t -> Service.request list -> (Service.response, exn) result list

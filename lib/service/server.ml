@@ -1,0 +1,121 @@
+let write_frame oc line payload =
+  output_string oc line;
+  output_char oc '\n';
+  (match payload with
+  | None -> ()
+  | Some body ->
+    output_string oc body;
+    if body = "" || body.[String.length body - 1] <> '\n' then
+      output_char oc '\n';
+    output_string oc "END\n");
+  flush oc
+
+let read_body ic =
+  let buf = Buffer.create 1024 in
+  let rec go () =
+    match In_channel.input_line ic with
+    | None -> Error "end of input inside a REQ frame (missing END)"
+    | Some "END" -> Ok (Buffer.contents buf)
+    | Some line ->
+      Buffer.add_string buf line;
+      Buffer.add_char buf '\n';
+      go ()
+  in
+  go ()
+
+(* [saw_quit] lets the socket accept-loop distinguish "client hung up"
+   (keep accepting) from an explicit QUIT (shut the server down). *)
+let serve_loop sched ic oc ~saw_quit =
+  let severity = ref 0 in
+  (* Requests of the in-flight batch, submission order, for tagging each
+     response/error frame with its request id. *)
+  let batch_reqs = Queue.create () in
+  let emit results =
+    List.iter
+      (fun result ->
+        let req_id =
+          if Queue.is_empty batch_reqs then "-"
+          else (Queue.pop batch_reqs).Service.req_id
+        in
+        match result with
+        | Ok resp ->
+          write_frame oc (Protocol.render_ok resp)
+            (Some resp.Service.output)
+        | Error e ->
+          let code = Protocol.err_code_of_exn e in
+          (* Bad input (code 1) is the client's problem; verifier rejects
+             and spot-check divergences are ours, and decide the server's
+             own result. *)
+          severity := max !severity (if code = 1 then 0 else code);
+          write_frame oc
+            (Protocol.render_err ~id:req_id ~code
+               (Protocol.err_message_of_exn e))
+            None)
+      results
+  in
+  let flush_all () = emit (Scheduler.flush sched) in
+  let rec loop () =
+    match In_channel.input_line ic with
+    | None -> flush_all ()
+    | Some "" -> loop ()
+    | Some line -> (
+      match Protocol.parse_header line with
+      | Error msg ->
+        write_frame oc (Protocol.render_err ~id:"-" ~code:1 msg) None;
+        loop ()
+      | Ok Protocol.H_quit ->
+        saw_quit := true;
+        flush_all ()
+      | Ok Protocol.H_flush ->
+        flush_all ();
+        loop ()
+      | Ok (Protocol.H_stats id) ->
+        flush_all ();
+        write_frame oc
+          (Protocol.render_stats ~id
+             (Service.counters (Scheduler.service sched)))
+          None;
+        loop ()
+      | Ok (Protocol.H_req { id; algo; passes; deadline }) -> (
+        match read_body ic with
+        | Error msg ->
+          write_frame oc (Protocol.render_err ~id ~code:1 msg) None;
+          flush_all ()
+        | Ok source ->
+          let req = Service.request ~algo ~passes ?deadline ~id source in
+          Queue.push req batch_reqs;
+          emit (Scheduler.submit sched req);
+          loop ()))
+  in
+  loop ();
+  !severity
+
+let serve_channels sched ic oc =
+  serve_loop sched ic oc ~saw_quit:(ref false)
+
+let serve_stdio sched = serve_channels sched stdin stdout
+
+let serve_socket sched path =
+  (try Unix.unlink path with Unix.Unix_error _ -> ());
+  let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind sock (Unix.ADDR_UNIX path);
+  Unix.listen sock 8;
+  let severity = ref 0 in
+  let quit = ref false in
+  while not !quit do
+    let client, _ = Unix.accept sock in
+    let ic = Unix.in_channel_of_descr client in
+    let oc = Unix.out_channel_of_descr client in
+    (* One connection at a time: batching happens inside a connection,
+       across the scheduler's domain pool. *)
+    let saw_quit = ref false in
+    (match serve_loop sched ic oc ~saw_quit with
+    | sev -> severity := max !severity sev
+    | exception Sys_error _ -> ()  (* client vanished mid-frame *));
+    (try flush oc with Sys_error _ -> ());
+    (try Unix.close client with Unix.Unix_error _ -> ());
+    if !saw_quit then quit := true
+  done;
+  (try Unix.close sock with Unix.Unix_error _ -> ());
+  (try Unix.unlink path with Unix.Unix_error _ -> ());
+  !severity

@@ -1,0 +1,25 @@
+(** The serving loop: {!Protocol} frames over stdio or a Unix socket.
+
+    Per-request failures never kill the server — they come back as [ERR]
+    frames on the stream — but the loop remembers the worst thing it saw
+    and reports it as its result, following the repository's exit-code
+    contract: [0] when every request either succeeded or was merely bad
+    input, [3] when the abstract verifier rejected at least one cold
+    allocation, [4] when a spot-check found a divergence (the cached and
+    freshly-allocated payloads differ — a correctness failure worth
+    failing CI over). *)
+
+(** Serve one connection: read frames from the input channel until
+    [QUIT] or end of input, writing response frames (flushed after every
+    batch). Returns the worst [ERR] severity seen (0, 3 or 4 — code-1
+    errors are the client's problem, not the server's). *)
+val serve_channels : Scheduler.t -> in_channel -> out_channel -> int
+
+(** Serve stdin/stdout until EOF or [QUIT]. *)
+val serve_stdio : Scheduler.t -> int
+
+(** Bind a Unix-domain socket at [path] (replacing any stale socket
+    file), then accept connections one at a time, serving each until it
+    closes; a [QUIT] frame shuts the whole server down. Returns the
+    worst severity seen across every connection. *)
+val serve_socket : Scheduler.t -> string -> int

@@ -1,0 +1,281 @@
+open Lsra_ir
+open Lsra_target
+
+type config = {
+  machine : Machine.t;
+  cache_bytes : int;
+  cache_entries : int;
+  verify_cold : bool;
+  spot_check : int;
+  default_rate : float;
+  trace : Lsra.Trace.t option;
+}
+
+let default_config machine =
+  {
+    machine;
+    cache_bytes = 64 * 1024 * 1024;
+    cache_entries = 4096;
+    verify_cold = true;
+    spot_check = 0;
+    default_rate = 2e-7;
+    trace = None;
+  }
+
+type request = {
+  req_id : string;
+  source : string;
+  algo : Lsra.Allocator.algorithm;
+  passes : Lsra.Passes.t list;
+  deadline : float option;
+}
+
+let request ?(algo = Lsra.Allocator.default_second_chance)
+    ?(passes = Lsra.Passes.default) ?deadline ~id source =
+  { req_id = id; source; algo; passes; deadline }
+
+type response = {
+  resp_id : string;
+  output : string;
+  key : string;
+  cached : bool;
+  downgraded_to : string option;
+  stats : Lsra.Stats.t;
+  elapsed : float;
+}
+
+exception Spot_check_failed of { req_id : string; key : string }
+
+type t = {
+  cfg : config;
+  cache : Cache.t;
+  (* EWMA seconds-per-instruction, keyed by allocator short name (the
+     options of a binpack variant barely move its asymptotics). *)
+  rates : (string, float) Hashtbl.t;
+  mutable requests : int;
+  mutable downgrades : int;
+  mutable spot_checks : int;
+  mutable hit_seq : int;
+  lock : Mutex.t;
+}
+
+let create cfg =
+  {
+    cfg;
+    cache =
+      Cache.create ~max_bytes:cfg.cache_bytes ~max_entries:cfg.cache_entries
+        ();
+    rates = Hashtbl.create 8;
+    requests = 0;
+    downgrades = 0;
+    spot_checks = 0;
+    hit_seq = 0;
+    lock = Mutex.create ();
+  }
+
+let config t = t.cfg
+
+let locked t f =
+  Mutex.lock t.lock;
+  match f () with
+  | v ->
+    Mutex.unlock t.lock;
+    v
+  | exception e ->
+    Mutex.unlock t.lock;
+    raise e
+
+type service_counters = {
+  cache : Cache.counters;
+  requests : int;
+  downgrades : int;
+  spot_checks : int;
+}
+
+let counters t =
+  locked t (fun () ->
+      {
+        cache = Cache.counters t.cache;
+        requests = t.requests;
+        downgrades = t.downgrades;
+        spot_checks = t.spot_checks;
+      })
+
+let algo_of_name = function
+  | "binpack" | "second-chance" -> Some Lsra.Allocator.default_second_chance
+  | "twopass" -> Some Lsra.Allocator.Two_pass
+  | "poletto" -> Some Lsra.Allocator.Poletto
+  | "gc" | "coloring" -> Some Lsra.Allocator.Graph_coloring
+  | _ -> None
+
+(* Cheapest last; every rung after the first trades allocation quality
+   (more spill code) for compile speed — the paper's §4 dial. *)
+let ladder (algo : Lsra.Allocator.algorithm) =
+  match algo with
+  | Second_chance _ ->
+    [ algo; Lsra.Allocator.Two_pass; Lsra.Allocator.Poletto ]
+  | Graph_coloring ->
+    [
+      algo;
+      Lsra.Allocator.default_second_chance;
+      Lsra.Allocator.Two_pass;
+      Lsra.Allocator.Poletto;
+    ]
+  | Two_pass -> [ algo; Lsra.Allocator.Poletto ]
+  | Poletto -> [ algo ]
+
+let rate t algo =
+  match Hashtbl.find_opt t.rates (Lsra.Allocator.short_name algo) with
+  | Some r -> r
+  | None -> t.cfg.default_rate
+
+let predict t algo n_instrs =
+  locked t (fun () -> rate t algo *. float_of_int (max 1 n_instrs))
+
+let observe t algo n_instrs seconds =
+  if n_instrs > 0 && seconds >= 0. then
+    locked t (fun () ->
+        let obs = seconds /. float_of_int n_instrs in
+        let key = Lsra.Allocator.short_name algo in
+        let blended =
+          match Hashtbl.find_opt t.rates key with
+          | Some old -> (0.7 *. old) +. (0.3 *. obs)
+          | None -> obs
+        in
+        Hashtbl.replace t.rates key blended)
+
+let n_instrs_of prog =
+  List.fold_left (fun acc (_, f) -> acc + Func.n_instrs f) 0
+    (Program.funcs prog)
+
+(* Walk the ladder until the cost model says the budget holds; the
+   cheapest rung is taken unconditionally (blowing the budget slightly
+   with Poletto beats not compiling at all). *)
+let degrade t ~req_id ~budget ~n_instrs requested =
+  let rec walk = function
+    | [] -> requested
+    | [ last ] -> last
+    | algo :: rest ->
+      if predict t algo n_instrs <= budget then algo else walk rest
+  in
+  let effective = walk (ladder requested) in
+  if
+    Lsra.Allocator.short_name effective
+    <> Lsra.Allocator.short_name requested
+  then begin
+    let predicted = predict t requested n_instrs in
+    locked t (fun () ->
+        t.downgrades <- t.downgrades + 1;
+        match t.cfg.trace with
+        | None -> ()
+        | Some sink ->
+          Lsra.Trace.emit sink
+            (Lsra.Trace.Downgrade
+               {
+                 req = req_id;
+                 from_algo = Lsra.Allocator.short_name requested;
+                 to_algo = Lsra.Allocator.short_name effective;
+                 budget;
+                 predicted;
+               }))
+  end;
+  effective
+
+let compile t ~passes algo prog =
+  let t0 = Unix.gettimeofday () in
+  let stats =
+    Lsra.Allocator.pipeline ~precheck:true ~verify:t.cfg.verify_cold ~passes
+      algo t.cfg.machine prog
+  in
+  let dt = Unix.gettimeofday () -. t0 in
+  (stats, dt)
+
+(* Re-allocate a hit from scratch and require the cached payload
+   byte-for-byte: the service-level differential oracle. *)
+let spot_check t ~req_id ~key ~canonical ~passes algo (entry : Cache.entry) =
+  locked t (fun () -> t.spot_checks <- t.spot_checks + 1);
+  let prog = Lsra_text.Ir_text.of_string canonical in
+  ignore
+    (Lsra.Allocator.pipeline ~precheck:true ~verify:false ~passes algo
+       t.cfg.machine prog);
+  let fresh = Lsra_text.Ir_text.to_string prog in
+  if not (String.equal fresh entry.Cache.output) then
+    raise (Spot_check_failed { req_id; key })
+
+let handle t (req : request) =
+  let t0 = Unix.gettimeofday () in
+  locked t (fun () -> t.requests <- t.requests + 1);
+  let prog = Lsra_text.Ir_text.of_string req.source in
+  let canonical = Lsra_text.Ir_text.to_string prog in
+  let passes = Lsra.Passes.normalize req.passes in
+  let key_of algo =
+    Cachekey.digest ~machine:t.cfg.machine ~algo ~passes prog
+  in
+  let respond ~key ~cached ~downgraded_to ~output ~(stats : Lsra.Stats.t) =
+    {
+      resp_id = req.req_id;
+      output;
+      key;
+      cached;
+      downgraded_to;
+      stats;
+      elapsed = Unix.gettimeofday () -. t0;
+    }
+  in
+  let serve_hit ~key ~downgraded_to algo (entry : Cache.entry) =
+    (let n = locked t (fun () -> t.hit_seq <- t.hit_seq + 1; t.hit_seq) in
+     if t.cfg.spot_check > 0 && n mod t.cfg.spot_check = 0 then
+       spot_check t ~req_id:req.req_id ~key ~canonical ~passes algo entry);
+    let stats = entry.Cache.stats in
+    if downgraded_to <> None then stats.Lsra.Stats.downgrades <- 1;
+    respond ~key ~cached:true ~downgraded_to ~output:entry.Cache.output ~stats
+  in
+  let requested_key = key_of req.algo in
+  match Cache.find t.cache requested_key with
+  | Some entry ->
+    (* A warm hit costs no allocation at all, so the deadline is never at
+       risk: serve the requested quality. *)
+    serve_hit ~key:requested_key ~downgraded_to:None req.algo entry
+  | None ->
+    let n_instrs = n_instrs_of prog in
+    let effective =
+      match req.deadline with
+      | None -> req.algo
+      | Some budget -> degrade t ~req_id:req.req_id ~budget ~n_instrs req.algo
+    in
+    let downgraded =
+      Lsra.Allocator.short_name effective
+      <> Lsra.Allocator.short_name req.algo
+    in
+    let downgraded_to =
+      if downgraded then Some (Lsra.Allocator.short_name effective) else None
+    in
+    if downgraded then
+      (* The cheaper allocation may itself already be cached. *)
+      let key = key_of effective in
+      match Cache.find t.cache key with
+      | Some entry -> serve_hit ~key ~downgraded_to effective entry
+      | None ->
+        let stats, dt = compile t ~passes effective prog in
+        observe t effective n_instrs dt;
+        let output = Lsra_text.Ir_text.to_string prog in
+        Cache.add t.cache key
+          {
+            Cache.output;
+            stats;
+            algo = Lsra.Allocator.short_name effective;
+          };
+        stats.Lsra.Stats.downgrades <- 1;
+        respond ~key ~cached:false ~downgraded_to ~output ~stats
+    else begin
+      let stats, dt = compile t ~passes effective prog in
+      observe t effective n_instrs dt;
+      let output = Lsra_text.Ir_text.to_string prog in
+      Cache.add t.cache requested_key
+        {
+          Cache.output;
+          stats;
+          algo = Lsra.Allocator.short_name effective;
+        };
+      respond ~key:requested_key ~cached:false ~downgraded_to ~output ~stats
+    end

@@ -1,0 +1,110 @@
+(** The allocation service: one compile request in, one allocated
+    program out, with a content-addressed cache in between and a
+    deadline-driven quality/speed dial in front of the allocator.
+
+    The paper's argument for linear scan is compile-time under dynamic
+    compilation (§1, §4): a JIT allocates on demand, under a latency
+    budget. This module is that setting made concrete. Each request
+    carries a program, an allocator, a pass list and optionally a compile
+    budget; the service answers from the cache when the content address
+    matches a previous allocation, and otherwise runs
+    {!Lsra.Allocator.pipeline} — downgrading a too-expensive allocator to
+    a cheaper linear-scan variant first when the budget is at risk
+    (second-chance binpacking → two-pass binpacking → Poletto), exactly
+    the quality-for-speed trade the paper's Table 3 quantifies.
+
+    Correctness: cold fills run under the abstract verifier
+    ([verify_cold], on by default), and a configurable fraction of cache
+    hits is {e spot-checked} — the source is re-allocated from scratch
+    and the result must be byte-identical to the cached payload
+    ({!Spot_check_failed} otherwise, the service's analogue of a
+    differential-execution divergence). *)
+
+open Lsra_target
+
+type config = {
+  machine : Machine.t;
+  cache_bytes : int;  (** result-cache payload budget (see {!Cache}) *)
+  cache_entries : int;  (** result-cache entry budget *)
+  verify_cold : bool;  (** run {!Lsra.Verify} on every cold fill *)
+  spot_check : int;
+      (** re-allocate every [n]-th cache hit and require byte-identical
+          output; [0] disables *)
+  default_rate : float;
+      (** cost-model prior: predicted allocation seconds per instruction
+          before any observation (default [2e-7]) *)
+  trace : Lsra.Trace.t option;
+      (** sink for {!Lsra.Trace.Downgrade} events (emission is
+          mutex-guarded; allocation itself is not traced) *)
+}
+
+val default_config : Machine.t -> config
+
+type request = {
+  req_id : string;
+  source : string;  (** textual IR *)
+  algo : Lsra.Allocator.algorithm;
+  passes : Lsra.Passes.t list;
+  deadline : float option;  (** compile budget, seconds *)
+}
+
+val request :
+  ?algo:Lsra.Allocator.algorithm ->
+  ?passes:Lsra.Passes.t list ->
+  ?deadline:float ->
+  id:string ->
+  string ->
+  request
+
+type response = {
+  resp_id : string;
+  output : string;  (** allocated program, canonical textual IR *)
+  key : string;  (** content address served *)
+  cached : bool;
+  downgraded_to : string option;
+      (** short name of the allocator that ran instead of the requested
+          one, when the deadline forced a downgrade *)
+  stats : Lsra.Stats.t;
+  elapsed : float;  (** service-side wall seconds for this request *)
+}
+
+(** A spot-checked cache hit did not reproduce byte-identically: either
+    the cache returned a stale/corrupt payload or the allocator is not
+    deterministic. Fatal — the bit-identical guarantee is broken. *)
+exception Spot_check_failed of { req_id : string; key : string }
+
+type t
+
+val create : config -> t
+val config : t -> config
+
+(** Serve one request. Thread-/domain-safe: cache, cost model and trace
+    emission are mutex-guarded, so {!Scheduler} may call this from many
+    domains. Raises what parsing, {!Lsra.Verify} or {!Lsra.Precheck}
+    raise on bad or mis-allocated input, and {!Spot_check_failed} on a
+    spot-check divergence. *)
+val handle : t -> request -> response
+
+type service_counters = {
+  cache : Cache.counters;
+  requests : int;
+  downgrades : int;
+  spot_checks : int;
+}
+
+val counters : t -> service_counters
+
+(** The degradation ladder: the requested algorithm, then every cheaper
+    fallback the deadline may force, cheapest last. *)
+val ladder : Lsra.Allocator.algorithm -> Lsra.Allocator.algorithm list
+
+(** [predict t algo n_instrs] is the cost model's current estimate (in
+    seconds) for allocating [n_instrs] instructions with [algo]: observed
+    seconds-per-instruction (EWMA over cold compiles), or the
+    [default_rate] prior before any observation. *)
+val predict : t -> Lsra.Allocator.algorithm -> int -> float
+
+(** Parse an allocator short name (as {!Lsra.Allocator.short_name}:
+    binpack, twopass, poletto, gc; also accepts second-chance and
+    coloring). *)
+val algo_of_name : string -> Lsra.Allocator.algorithm option

@@ -21,4 +21,5 @@ let () =
       ("workloads", Suite_workloads.suite);
       ("text", Suite_text.suite);
       ("trace", Suite_trace.suite);
+      ("service", Suite_service.suite);
     ]
