@@ -514,9 +514,11 @@ let bechamel () =
 (* ------------------------------------------------------------------ *)
 
 (* perfdump: machine-readable allocation-throughput profile. Each
-   workload is allocated sequentially and with [jobs] domains (best of 5
-   wall-clock runs each); per-pass times, dataflow rounds and the
-   parallel speedup land in BENCH_alloc.json. *)
+   workload is allocated at every job count in {1, jobs} (best of 5
+   wall-clock runs each); per-pass times, per-pass minor-heap words,
+   Gc.quick_stat deltas per job count, and the parallel speedup land in
+   BENCH_alloc.json. The parallel output is byte-compared against the
+   sequential one — any divergence is a determinism bug and exits 4. *)
 let perfdump () =
   let workloads =
     List.map
@@ -534,54 +536,131 @@ let perfdump () =
             case.Lsra_workloads.Specbench.program ))
         (cases ())
   in
+  let job_counts = if jobs > 1 then [ 1; jobs ] else [ 1 ] in
+  let lifetime_impl =
+    match Sys.getenv_opt "LSRA_LIFETIME_IMPL" with
+    | Some s -> s
+    | None -> "arena"
+  in
   let buf = Buffer.create 4096 in
-  let total_seq = ref 0. and total_par = ref 0. in
-  Printf.bprintf buf "{\n  \"machine\": %S,\n  \"scale\": %d,\n"
-    (Machine.name machine) scale;
-  Printf.bprintf buf "  \"jobs\": %d,\n  \"workloads\": [\n" jobs;
+  let totals = Array.make (List.length job_counts) 0. in
+  let divergent = ref 0 in
+  Printf.bprintf buf
+    "{\n\
+    \  \"machine\": %S,\n\
+    \  \"scale\": %d,\n\
+    \  \"jobs\": %d,\n\
+    \  \"lifetime_impl\": %S,\n\
+    \  \"workloads\": [\n"
+    (Machine.name machine) scale jobs lifetime_impl;
   List.iteri
     (fun i (name, prog) ->
-      let stats = ref (Lsra.Stats.create ()) in
-      let t_seq =
-        best_of_5_alloc prog (fun p ->
-            stats := Lsra.Second_chance.run_program machine p)
+      let funcs = Program.funcs prog in
+      let n_instrs =
+        List.fold_left (fun acc (_, f) -> acc + Func.n_instrs f) 0 funcs
       in
-      let t_par =
-        best_of_5_alloc prog (fun p ->
-            ignore (Lsra.Second_chance.run_program ~jobs machine p))
+      (* Reference run: sequential output text, stats and GC profile. *)
+      let seq_stats = ref (Lsra.Stats.create ()) in
+      let seq_text =
+        let p = Program.copy prog in
+        seq_stats := Lsra.Second_chance.run_program machine p;
+        Lsra_text.Ir_text.to_string p
       in
-      total_seq := !total_seq +. t_seq;
-      total_par := !total_par +. t_par;
-      let s = !stats in
+      let per_jobs =
+        List.map
+          (fun j ->
+            let stats = ref (Lsra.Stats.create ()) in
+            let text =
+              let p = Program.copy prog in
+              stats := Lsra.Second_chance.run_program ~jobs:j machine p;
+              Lsra_text.Ir_text.to_string p
+            in
+            if not (String.equal text seq_text) then begin
+              incr divergent;
+              Printf.eprintf
+                "perfdump: %s: output at %d jobs diverges from sequential\n%!"
+                name j
+            end;
+            let wall =
+              best_of_5_alloc prog (fun p ->
+                  ignore (Lsra.Second_chance.run_program ~jobs:j machine p))
+            in
+            (j, wall, !stats))
+          job_counts
+      in
+      let wall1 =
+        match per_jobs with (_, w, _) :: _ -> w | [] -> assert false
+      in
+      List.iteri
+        (fun k (_, w, _) -> totals.(k) <- totals.(k) +. w)
+        per_jobs;
+      let s = !seq_stats in
+      let pw p = s.Lsra.Stats.pass_minor_words.(Lsra.Stats.pass_index p) in
       if i > 0 then Buffer.add_string buf ",\n";
       Printf.bprintf buf
-        "    { \"name\": %S, \"funcs\": %d,\n\
-        \      \"seq_wall_s\": %.6f, \"par_wall_s\": %.6f, \"speedup\": \
-         %.3f,\n\
+        "    { \"name\": %S, \"funcs\": %d, \"instrs\": %d,\n\
         \      \"dataflow_rounds\": %d, \"spill_instrs\": %d,\n\
         \      \"pass_times_s\": { \"liveness\": %.6f, \"lifetime\": %.6f, \
-         \"scan\": %.6f, \"resolution\": %.6f, \"peephole\": %.6f } }"
-        name
-        (List.length (Program.funcs prog))
-        t_seq t_par (t_seq /. t_par) s.Lsra.Stats.dataflow_rounds
+         \"scan\": %.6f, \"resolution\": %.6f, \"peephole\": %.6f },\n\
+        \      \"pass_minor_words\": { \"liveness\": %.0f, \"lifetime\": \
+         %.0f, \"scan\": %.0f, \"resolution\": %.0f, \"peephole\": %.0f },\n\
+        \      \"minor_words_per_instr\": %.1f,\n\
+        \      \"by_jobs\": ["
+        name (List.length funcs) n_instrs s.Lsra.Stats.dataflow_rounds
         (Lsra.Stats.total_spill s) s.Lsra.Stats.time_liveness
         s.Lsra.Stats.time_lifetime s.Lsra.Stats.time_scan
-        s.Lsra.Stats.time_resolution s.Lsra.Stats.time_peephole;
-      Printf.printf "%-20s seq %.4fs  x%d %.4fs  speedup %.2f\n%!" name t_seq
-        jobs t_par (t_seq /. t_par))
+        s.Lsra.Stats.time_resolution s.Lsra.Stats.time_peephole
+        (pw Lsra.Stats.Liveness) (pw Lsra.Stats.Lifetime)
+        (pw Lsra.Stats.Scan) (pw Lsra.Stats.Resolution)
+        (pw Lsra.Stats.Peephole)
+        (s.Lsra.Stats.minor_words /. float_of_int (max 1 n_instrs));
+      List.iteri
+        (fun k (j, w, st) ->
+          if k > 0 then Buffer.add_string buf ",";
+          Printf.bprintf buf
+            "\n\
+            \        { \"jobs\": %d, \"wall_s\": %.6f, \"speedup\": %.3f,\n\
+            \          \"gc\": { \"minor_words\": %.0f, \"promoted_words\": \
+             %.0f, \"major_words\": %.0f, \"minor_collections\": %d, \
+             \"major_collections\": %d } }"
+            j w (wall1 /. w) st.Lsra.Stats.minor_words
+            st.Lsra.Stats.promoted_words st.Lsra.Stats.major_words
+            st.Lsra.Stats.minor_collections st.Lsra.Stats.major_collections)
+        per_jobs;
+      Buffer.add_string buf " ] }";
+      Printf.printf "%-20s" name;
+      List.iter
+        (fun (j, w, _) -> Printf.printf "  j%-2d %.4fs (x%.2f)" j w (wall1 /. w))
+        per_jobs;
+      Printf.printf "  %.0f mw/instr\n%!"
+        (s.Lsra.Stats.minor_words /. float_of_int (max 1 n_instrs)))
     workloads;
-  Printf.bprintf buf
-    "\n  ],\n\
-    \  \"total\": { \"seq_wall_s\": %.6f, \"par_wall_s\": %.6f, \
-     \"speedup\": %.3f }\n\
-     }\n"
-    !total_seq !total_par (!total_seq /. !total_par);
+  Printf.bprintf buf "\n  ],\n  \"total\": { \"by_jobs\": [";
+  List.iteri
+    (fun k j ->
+      if k > 0 then Buffer.add_string buf ",";
+      Printf.bprintf buf
+        " { \"jobs\": %d, \"wall_s\": %.6f, \"speedup\": %.3f }" j totals.(k)
+        (totals.(0) /. totals.(k)))
+    job_counts;
+  Printf.bprintf buf " ] },\n  \"parallel_divergence\": %d\n}\n" !divergent;
   let out = bench_out_path "BENCH_alloc.json" in
   Out_channel.with_open_text out (fun oc ->
       Out_channel.output_string oc (Buffer.contents buf));
-  Printf.printf
-    "total: seq %.4fs, %d jobs %.4fs, speedup %.2f — wrote %s\n"
-    !total_seq jobs !total_par (!total_seq /. !total_par) out
+  Printf.printf "total:";
+  List.iteri
+    (fun k j ->
+      Printf.printf "  j%-2d %.4fs (x%.2f)" j totals.(k)
+        (totals.(0) /. totals.(k)))
+    job_counts;
+  Printf.printf " — wrote %s\n" out;
+  if !divergent > 0 then begin
+    Printf.eprintf
+      "perfdump: FAIL — %d workload(s) diverged between sequential and \
+       parallel allocation\n%!"
+      !divergent;
+    exit 4
+  end
 
 (* ------------------------------------------------------------------ *)
 

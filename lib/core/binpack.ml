@@ -136,11 +136,15 @@ let next_ref st id ~pos =
 let pow10 = Array.init 32 (fun d -> 10.0 ** float_of_int d)
 
 let benefit st id ~pos =
-  match next_ref st id ~pos with
-  | None -> -1.0
-  | Some r ->
-    let dist = float_of_int (r.Interval.rpos - pos + 1) in
-    let d = r.Interval.rdepth in
+  (* Index-based: runs inside the eviction scans, so it must not build
+     the [ref_point] record [next_ref] materialises. *)
+  let itv = interval st id in
+  let c = Interval.next_ref_at itv ~cursor:st.cursor.(id) ~pos in
+  st.cursor.(id) <- c;
+  if c >= Interval.n_refs itv then -1.0
+  else
+    let dist = float_of_int (Interval.ref_pos_at itv c - pos + 1) in
+    let d = Interval.ref_depth_at itv c in
     let w = if d < 32 then pow10.(d) else 10.0 ** float_of_int d in
     w /. dist
 
@@ -172,8 +176,7 @@ let clear_occupant st ri =
 let peek_next_ref st id ~pos =
   let itv = interval st id in
   let c = Interval.next_ref_at itv ~cursor:st.cursor.(id) ~pos in
-  if c < Interval.n_refs itv then Some (Interval.ref_at itv c).Interval.rpos
-  else None
+  if c < Interval.n_refs itv then Some (Interval.ref_pos_at itv c) else None
 
 (* Evict temp [id] from register flat index [ri], inserting a spill store
    before the current instruction when the value is live and stale. *)

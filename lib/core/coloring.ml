@@ -651,7 +651,8 @@ let allocate_class ?trace machine func cls stats no_spill_seed =
   round no_spill_seed 1
 
 let run ?trace machine func =
-  let t0 = Sys.time () in
+  let t0 = Unix.gettimeofday () in
+  let g0 = Gc.quick_stat () in
   (match trace with
   | None -> ()
   | Some sink ->
@@ -661,7 +662,8 @@ let run ?trace machine func =
   allocate_class ?trace machine func Rclass.Int stats [];
   allocate_class ?trace machine func Rclass.Float stats [];
   stats.Stats.slots <- Func.n_slots func;
-  stats.Stats.alloc_time <- Sys.time () -. t0;
+  Stats.record_gc_since stats g0;
+  stats.Stats.alloc_time <- Unix.gettimeofday () -. t0;
   stats
 
 let run_program ?jobs ?trace machine prog =

@@ -6,11 +6,33 @@ type ref_kind = Read | Write
 
 type ref_point = { rpos : int; rkind : ref_kind; rdepth : int }
 
+(* An interval is a view over flat, shared backing arrays: segment starts
+   and ends live in [seg_s]/[seg_e] at [soff, soff+slen), references in
+   [ref_pos]/[ref_meta] at [roff, roff+rlen). One [Lifetime.compute] call
+   produces one backing set shared by every interval of the function, so
+   building the intervals allocates no per-segment cells and the scan
+   loops walk plain int arrays. [ref_meta] packs depth and kind into one
+   int: [(rdepth lsl 1) lor kind_bit], kind_bit 1 = Write. *)
 type t = {
   temp : Temp.t;
-  segs : seg array;
-  refs : ref_point array;
+  seg_s : int array;
+  seg_e : int array;
+  soff : int;
+  slen : int;
+  ref_pos : int array;
+  ref_meta : int array;
+  roff : int;
+  rlen : int;
 }
+
+let meta_of_ref ~kind ~depth =
+  (depth lsl 1) lor (match kind with Read -> 0 | Write -> 1)
+
+let kind_of_meta m = if m land 1 = 1 then Write else Read
+let depth_of_meta m = m lsr 1
+
+let of_slices ~temp ~seg_s ~seg_e ~soff ~slen ~ref_pos ~ref_meta ~roff ~rlen =
+  { temp; seg_s; seg_e; soff; slen; ref_pos; ref_meta; roff; rlen }
 
 let make ~temp ~segs ~refs =
   Array.iteri
@@ -21,32 +43,58 @@ let make ~temp ~segs ~refs =
   Array.iteri
     (fun i r -> if i > 0 then assert (refs.(i - 1).rpos <= r.rpos))
     refs;
-  { temp; segs; refs }
+  let slen = Array.length segs and rlen = Array.length refs in
+  {
+    temp;
+    seg_s = Array.map (fun { s; _ } -> s) segs;
+    seg_e = Array.map (fun { e; _ } -> e) segs;
+    soff = 0;
+    slen;
+    ref_pos = Array.map (fun r -> r.rpos) refs;
+    ref_meta =
+      Array.map (fun r -> meta_of_ref ~kind:r.rkind ~depth:r.rdepth) refs;
+    roff = 0;
+    rlen;
+  }
 
 let temp t = t.temp
-let segs t = Array.to_list t.segs
-let refs t = Array.to_list t.refs
-let is_empty t = Array.length t.segs = 0
+let n_segs t = t.slen
+let seg_start t i = t.seg_s.(t.soff + i)
+let seg_end t i = t.seg_e.(t.soff + i)
+let segs t = List.init t.slen (fun i -> { s = seg_start t i; e = seg_end t i })
+
+let ref_pos_at t i = t.ref_pos.(t.roff + i)
+let ref_kind_at t i = kind_of_meta t.ref_meta.(t.roff + i)
+let ref_depth_at t i = depth_of_meta t.ref_meta.(t.roff + i)
+
+let ref_at t i =
+  { rpos = ref_pos_at t i; rkind = ref_kind_at t i; rdepth = ref_depth_at t i }
+
+let n_refs t = t.rlen
+let refs t = List.init t.rlen (fun i -> ref_at t i)
+let is_empty t = t.slen = 0
 
 let start t =
-  if is_empty t then invalid_arg "Interval.start: empty" else t.segs.(0).s
+  if is_empty t then invalid_arg "Interval.start: empty"
+  else t.seg_s.(t.soff)
 
 let stop t =
   if is_empty t then invalid_arg "Interval.stop: empty"
-  else t.segs.(Array.length t.segs - 1).e
+  else t.seg_e.(t.soff + t.slen - 1)
 
-(* Binary search: index of the first segment with e >= pos, or length. *)
+(* Binary search: slice-relative index of the first segment with
+   e >= pos, or [slen]. *)
 let seg_search t pos =
-  let lo = ref 0 and hi = ref (Array.length t.segs) in
+  let lo = ref 0 and hi = ref t.slen in
   while !lo < !hi do
     let mid = (!lo + !hi) / 2 in
-    if t.segs.(mid).e < pos then lo := mid + 1 else hi := mid
+    if t.seg_e.(t.soff + mid) < pos then lo := mid + 1 else hi := mid
   done;
   !lo
 
 let covers t pos =
   let i = seg_search t pos in
-  i < Array.length t.segs && t.segs.(i).s <= pos
+  i < t.slen && t.seg_s.(t.soff + i) <= pos
 
 let in_hole t pos =
   (not (is_empty t)) && pos > start t && pos < stop t && not (covers t pos)
@@ -54,24 +102,22 @@ let in_hole t pos =
 let live_at t pos = covers t pos
 
 let next_ref_at t ~cursor ~pos =
-  let n = Array.length t.refs in
+  let n = t.rlen in
   let c = ref cursor in
-  while !c < n && t.refs.(!c).rpos < pos do
+  while !c < n && t.ref_pos.(t.roff + !c) < pos do
     incr c
   done;
   !c
 
-let ref_at t i = t.refs.(i)
-let n_refs t = Array.length t.refs
-
 let holes t =
   let hs = ref [] in
-  Array.iteri
-    (fun i { s; _ } ->
-      if i > 0 then hs := { s = t.segs.(i - 1).e + 1; e = s - 1 } :: !hs)
-    t.segs;
-  List.rev !hs
+  for i = t.slen - 1 downto 1 do
+    hs := { s = seg_end t (i - 1) + 1; e = seg_start t i - 1 } :: !hs
+  done;
+  !hs
 
 let pp fmt t =
   Format.fprintf fmt "%s:" (Temp.to_string t.temp);
-  Array.iter (fun { s; e } -> Format.fprintf fmt " [%d,%d]" s e) t.segs
+  for i = 0 to t.slen - 1 do
+    Format.fprintf fmt " [%d,%d]" (seg_start t i) (seg_end t i)
+  done

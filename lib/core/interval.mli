@@ -2,8 +2,15 @@
 
     A temporary's lifetime is the union of disjoint, sorted segments in
     linear positions; the gaps between consecutive segments are its
-    {e lifetime holes} (paper §2.1). [refs] lists every textual reference
-    with its kind and loop depth, for the eviction-priority heuristic. *)
+    {e lifetime holes} (paper §2.1). References list every textual
+    occurrence with its kind and loop depth, for the eviction-priority
+    heuristic.
+
+    Representation: an interval is a {e slice view} over flat int arrays
+    shared by every interval of a function ([Lifetime.compute] builds one
+    backing set per function from its reused arena). The scan loops
+    therefore iterate segments and references by index over plain int
+    arrays — no list walking and no per-segment heap cells. *)
 
 open Lsra_ir
 
@@ -12,12 +19,44 @@ type ref_kind = Read | Write
 type ref_point = { rpos : int; rkind : ref_kind; rdepth : int }
 type t
 
-(** Segments must be sorted, disjoint and non-touching; refs sorted by
+(** Build from materialised arrays (copies them into a private backing).
+    Segments must be sorted, disjoint and non-touching; refs sorted by
     position (checked by assertions). *)
 val make : temp:Temp.t -> segs:seg array -> refs:ref_point array -> t
 
+(** Zero-copy view over shared backing arrays: segments at
+    [soff, soff+slen) of [seg_s]/[seg_e], references at [roff, roff+rlen)
+    of [ref_pos]/[ref_meta] ([ref_meta] packed with {!meta_of_ref}).
+    The caller guarantees sortedness and disjointness; no checks run. *)
+val of_slices :
+  temp:Temp.t ->
+  seg_s:int array ->
+  seg_e:int array ->
+  soff:int ->
+  slen:int ->
+  ref_pos:int array ->
+  ref_meta:int array ->
+  roff:int ->
+  rlen:int ->
+  t
+
+(** [meta_of_ref ~kind ~depth] packs a reference's kind and loop depth
+    into the single int stored per reference. *)
+val meta_of_ref : kind:ref_kind -> depth:int -> int
+
 val temp : t -> Temp.t
+
+(** Index-based segment access: [n_segs], and the start/end of the [i]th
+    segment (0-based, in increasing position order). *)
+val n_segs : t -> int
+
+val seg_start : t -> int -> int
+val seg_end : t -> int -> int
+
+(** Materialised copies, for tests and pretty-printing; the allocators'
+    hot paths use the index accessors instead. *)
 val segs : t -> seg list
+
 val refs : t -> ref_point list
 val is_empty : t -> bool
 
@@ -40,7 +79,15 @@ val live_at : t -> int -> bool
     exhausted). *)
 val next_ref_at : t -> cursor:int -> pos:int -> int
 
+(** Allocation-free reference access by cursor index. *)
+val ref_pos_at : t -> int -> int
+
+val ref_kind_at : t -> int -> ref_kind
+val ref_depth_at : t -> int -> int
+
+(** Materialises a record; prefer the [_at] accessors on hot paths. *)
 val ref_at : t -> int -> ref_point
+
 val n_refs : t -> int
 val holes : t -> seg list
 val pp : Format.formatter -> t -> unit

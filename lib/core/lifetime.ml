@@ -21,8 +21,246 @@ let iter_regs f locs =
 (* One reverse pass over the linear order computes, per temporary, the live
    segments (whose gaps are the lifetime holes) and, per machine register,
    the busy segments imposed by explicit register operands and call
-   clobbers (paper §2.1, §2.5). *)
-let compute regidx func liveness loops =
+   clobbers (paper §2.1, §2.5).
+
+   All bookkeeping lives in the domain-local {!Workspace}: lifetime ids
+   are temps [0, ntemps) followed by registers [ntemps, ntemps+nregs);
+   closed segments and references are appended to flat event arenas, then
+   bucketed into per-id slices of shared output arrays (a counting sort —
+   the sweep emits each id's segments in decreasing position order, so a
+   backward fill yields them sorted; the forward reference walk fills
+   forward). The only per-function allocations are the exact-size output
+   arrays the returned intervals point into. *)
+let compute_arena regidx func liveness loops =
+  let linear = Linear.number func in
+  let cfg = Func.cfg func in
+  let blocks = Cfg.blocks cfg in
+  let nb = Array.length blocks in
+  let ntemps = Func.temp_bound func in
+  let nregs = Regidx.total regidx in
+  let n_ids = ntemps + nregs in
+  let ws = Workspace.get () in
+  Workspace.reset ws ~n_temps:ntemps ~n_ids;
+  let block_depth = Array.init nb (fun i -> Loop.depth loops i) in
+
+  let open_end = ws.Workspace.open_end in
+  let push_seg id s e =
+    Workspace.buf_push ws.Workspace.ev_id id;
+    Workspace.buf_push ws.Workspace.ev_s s;
+    Workspace.buf_push ws.Workspace.ev_e e
+  in
+  (* Close id's open segment (if any) at start position [spos]. *)
+  let close id spos =
+    if open_end.(id) >= 0 then begin
+      push_seg id spos open_end.(id);
+      open_end.(id) <- -1
+    end
+  in
+
+  for bi = nb - 1 downto 0 do
+    let b = blocks.(bi) in
+    let bottom = Linear.block_bottom linear bi in
+    (* Every temp opened in this block, so the block-top close below only
+       touches those instead of scanning all [ntemps] ids per block. *)
+    Workspace.buf_clear ws.Workspace.opened;
+    Bitset.iter
+      (fun id ->
+        open_end.(id) <- bottom;
+        Workspace.buf_push ws.Workspace.opened id)
+      (Liveness.live_out liveness (Block.label b));
+    let body = Block.body b in
+    let nbody = Array.length body in
+    let last = Linear.last_instr linear bi in
+    (* Process instruction slot [k] (linear index) given its defs/uses. *)
+    let step k (defs : Loc.t list) (uses : Loc.t list) =
+      let dp = Linear.def_pos k and up = Linear.use_pos k in
+      iter_temps
+        (fun tp ->
+          let id = Temp.id tp in
+          Bytes.set ws.Workspace.known id '\001';
+          ws.Workspace.temp_of.(id) <- tp;
+          if open_end.(id) >= 0 then close id dp
+          else push_seg id dp dp (* dead def: a point segment *))
+        defs;
+      iter_regs
+        (fun r ->
+          let id = ntemps + Regidx.of_reg regidx r in
+          if open_end.(id) >= 0 then close id dp else push_seg id dp dp)
+        defs;
+      iter_temps
+        (fun tp ->
+          let id = Temp.id tp in
+          Bytes.set ws.Workspace.known id '\001';
+          ws.Workspace.temp_of.(id) <- tp;
+          if open_end.(id) < 0 then begin
+            open_end.(id) <- up;
+            Workspace.buf_push ws.Workspace.opened id
+          end)
+        uses;
+      iter_regs
+        (fun r ->
+          let id = ntemps + Regidx.of_reg regidx r in
+          if open_end.(id) < 0 then open_end.(id) <- up)
+        uses
+    in
+    step last [] (Block.term_uses b);
+    for j = nbody - 1 downto 0 do
+      let k = Linear.first_instr linear bi + j in
+      step k (Instr.defs body.(j)) (Instr.uses body.(j))
+    done;
+    let top = Linear.block_top linear bi in
+    let opened = ws.Workspace.opened in
+    for i = 0 to opened.Workspace.n - 1 do
+      close opened.Workspace.a.(i) top
+    done;
+    (* Registers still open at block top are live-in by convention: the
+       entry block's parameter registers. Elsewhere this is conservative
+       but harmless. *)
+    for ri = 0 to nregs - 1 do
+      close (ntemps + ri) top
+    done
+  done;
+
+  (* Bucket the segment events into per-id slices: count, prefix-sum,
+     backward fill (the arena holds each id's segments in decreasing
+     position order), then coalesce touching segments in place. *)
+  let cnt = ws.Workspace.cnt and off = ws.Workspace.off in
+  let nev = ws.Workspace.ev_id.Workspace.n in
+  let ev_id = ws.Workspace.ev_id.Workspace.a in
+  let ev_s = ws.Workspace.ev_s.Workspace.a in
+  let ev_e = ws.Workspace.ev_e.Workspace.a in
+  for i = 0 to nev - 1 do
+    cnt.(ev_id.(i)) <- cnt.(ev_id.(i)) + 1
+  done;
+  off.(0) <- 0;
+  for id = 0 to n_ids - 1 do
+    off.(id + 1) <- off.(id) + cnt.(id)
+  done;
+  for id = 0 to n_ids - 1 do
+    cnt.(id) <- off.(id + 1)
+  done;
+  Workspace.buf_reserve ws.Workspace.sg_s nev;
+  Workspace.buf_reserve ws.Workspace.sg_e nev;
+  let sg_s = ws.Workspace.sg_s.Workspace.a in
+  let sg_e = ws.Workspace.sg_e.Workspace.a in
+  for i = 0 to nev - 1 do
+    let id = ev_id.(i) in
+    let w = cnt.(id) - 1 in
+    cnt.(id) <- w;
+    sg_s.(w) <- ev_s.(i);
+    sg_e.(w) <- ev_e.(i)
+  done;
+  (* In-place coalesce and compact; afterwards [off.(id)]/[cnt.(id)] hold
+     each id's slice offset/length in the compacted prefix. The write
+     cursor never passes a pending read (lengths only shrink). *)
+  let w = ref 0 in
+  for id = 0 to n_ids - 1 do
+    let lo = off.(id) and hi = off.(id + 1) in
+    let start_w = !w in
+    if lo < hi then begin
+      sg_s.(!w) <- sg_s.(lo);
+      sg_e.(!w) <- sg_e.(lo);
+      incr w;
+      for i = lo + 1 to hi - 1 do
+        if sg_s.(i) <= sg_e.(!w - 1) + 1 then
+          sg_e.(!w - 1) <- max sg_e.(!w - 1) sg_e.(i)
+        else begin
+          sg_s.(!w) <- sg_s.(i);
+          sg_e.(!w) <- sg_e.(i);
+          incr w
+        end
+      done
+    end;
+    off.(id) <- start_w;
+    cnt.(id) <- !w - start_w
+  done;
+  let seg_s = Array.sub sg_s 0 !w in
+  let seg_e = Array.sub sg_e 0 !w in
+  let seg_off = Array.sub off 0 n_ids in
+  let seg_len = Array.sub cnt 0 n_ids in
+
+  (* Reference points, gathered in one forward walk into the reference
+     arena, then bucketed the same way (forward fill: the walk emits each
+     temp's references in increasing position order). *)
+  let each_ref () =
+    Array.iteri
+      (fun bi b ->
+        let depth = block_depth.(bi) in
+        let note k kind locs =
+          let rpos =
+            match kind with
+            | Interval.Read -> Linear.use_pos k
+            | Interval.Write -> Linear.def_pos k
+          in
+          let meta = Interval.meta_of_ref ~kind ~depth in
+          iter_temps
+            (fun tp ->
+              Workspace.buf_push ws.Workspace.rf_id (Temp.id tp);
+              Workspace.buf_push ws.Workspace.rf_pos rpos;
+              Workspace.buf_push ws.Workspace.rf_meta meta)
+            locs
+        in
+        Array.iteri
+          (fun j i ->
+            let k = Linear.first_instr linear bi + j in
+            note k Interval.Read (Instr.uses i);
+            note k Interval.Write (Instr.defs i))
+          (Block.body b);
+        note (Linear.last_instr linear bi) Interval.Read (Block.term_uses b))
+      blocks
+  in
+  each_ref ();
+  let nrf = ws.Workspace.rf_id.Workspace.n in
+  let rf_id = ws.Workspace.rf_id.Workspace.a in
+  let rf_pos = ws.Workspace.rf_pos.Workspace.a in
+  let rf_meta = ws.Workspace.rf_meta.Workspace.a in
+  Array.fill cnt 0 ntemps 0;
+  for i = 0 to nrf - 1 do
+    cnt.(rf_id.(i)) <- cnt.(rf_id.(i)) + 1
+  done;
+  off.(0) <- 0;
+  for id = 0 to ntemps - 1 do
+    off.(id + 1) <- off.(id) + cnt.(id)
+  done;
+  for id = 0 to ntemps - 1 do
+    cnt.(id) <- off.(id)
+  done;
+  let ref_pos = Array.make nrf 0 in
+  let ref_meta = Array.make nrf 0 in
+  for i = 0 to nrf - 1 do
+    let id = rf_id.(i) in
+    let k = cnt.(id) in
+    cnt.(id) <- k + 1;
+    ref_pos.(k) <- rf_pos.(i);
+    ref_meta.(k) <- rf_meta.(i)
+  done;
+
+  let intervals =
+    Array.init ntemps (fun id ->
+        let temp =
+          if Bytes.get ws.Workspace.known id <> '\000' then
+            ws.Workspace.temp_of.(id)
+          else Temp.make ~cls:Rclass.Int id
+        in
+        Interval.of_slices ~temp ~seg_s ~seg_e ~soff:seg_off.(id)
+          ~slen:seg_len.(id) ~ref_pos ~ref_meta ~roff:off.(id)
+          ~rlen:(off.(id + 1) - off.(id)))
+  in
+  let reg_busy =
+    Array.init nregs (fun ri ->
+        let id = ntemps + ri in
+        let soff = seg_off.(id) in
+        Array.init seg_len.(id) (fun i ->
+            { Interval.s = seg_s.(soff + i); e = seg_e.(soff + i) }))
+  in
+  { linear; intervals; reg_busy; block_depth }
+
+(* The retired list-based construction, kept verbatim as the structural
+   oracle for the arena path (qcheck compares the two on random programs)
+   and selectable at run time with LSRA_LIFETIME_IMPL=boxed for GC-
+   pressure ablations. Do not optimise this: its value is being the
+   obviously-correct original. *)
+let compute_boxed regidx func liveness loops =
   let linear = Linear.number func in
   let cfg = Func.cfg func in
   let blocks = Cfg.blocks cfg in
@@ -55,8 +293,6 @@ let compute regidx func liveness loops =
   for bi = nb - 1 downto 0 do
     let b = blocks.(bi) in
     let bottom = Linear.block_bottom linear bi in
-    (* Every temp opened in this block, so the block-top close below only
-       touches those instead of scanning all [ntemps] ids per block. *)
     let opened = ref [] in
     Bitset.iter
       (fun id ->
@@ -66,7 +302,6 @@ let compute regidx func liveness loops =
     let body = Block.body b in
     let nbody = Array.length body in
     let last = Linear.last_instr linear bi in
-    (* Process instruction slot [k] (linear index) given its defs/uses. *)
     let step k (defs : Loc.t list) (uses : Loc.t list) =
       let dp = Linear.def_pos k and up = Linear.use_pos k in
       iter_temps
@@ -104,9 +339,6 @@ let compute regidx func liveness loops =
     done;
     let top = Linear.block_top linear bi in
     List.iter (fun id -> close_temp id top) !opened;
-    (* Registers still open at block top are live-in by convention: the
-       entry block's parameter registers. Elsewhere this is conservative
-       but harmless. *)
     for ri = 0 to nregs - 1 do
       close_reg ri top
     done
@@ -147,8 +379,6 @@ let compute regidx func liveness loops =
       fill.(id) <- fill.(id) + 1);
 
   let merge_segments l =
-    (* The reverse sweep prepends, so [l] is already in increasing
-       position order; coalesce touching segments. *)
     let sorted = l in
     let rec go acc = function
       | [] -> List.rev acc
@@ -175,6 +405,21 @@ let compute regidx func liveness loops =
     Array.init nregs (fun ri -> Array.of_list (merge_segments reg_segs.(ri)))
   in
   { linear; intervals; reg_busy; block_depth }
+
+(* Selected once at startup; the boxed path exists for oracle tests and
+   GC ablations, not production. *)
+let use_boxed =
+  match Sys.getenv_opt "LSRA_LIFETIME_IMPL" with
+  | Some "boxed" -> true
+  | Some "arena" | None -> false
+  | Some other ->
+    invalid_arg
+      (Printf.sprintf
+         "LSRA_LIFETIME_IMPL=%S (expected \"arena\" or \"boxed\")" other)
+
+let compute regidx func liveness loops =
+  if use_boxed then compute_boxed regidx func liveness loops
+  else compute_arena regidx func liveness loops
 
 let linear t = t.linear
 let interval t temp = t.intervals.(Temp.id temp)

@@ -2,7 +2,12 @@
     the linear order that produces, for every temporary, its lifetime
     segments (gaps = holes), and for every machine register the segments
     during which a convention makes it unavailable (explicit register
-    operands, call argument/clobber effects). *)
+    operands, call argument/clobber effects).
+
+    The production path builds everything in the calling domain's
+    {!Workspace} arena — flat int event buffers bucketed into per-temp
+    slices of shared output arrays — so steady-state heap allocation per
+    function is a few exact-size arrays, not per-segment list cells. *)
 
 open Lsra_ir
 open Lsra_analysis
@@ -10,6 +15,12 @@ open Lsra_analysis
 type t
 
 val compute : Regidx.t -> Func.t -> Liveness.t -> Loop.t -> t
+
+(** The retired list-based construction, kept as a structural oracle:
+    produces intervals, references and busy segments identical to
+    {!compute}. Setting LSRA_LIFETIME_IMPL=boxed makes {!compute} use it
+    process-wide, for GC-pressure ablations. *)
+val compute_boxed : Regidx.t -> Func.t -> Liveness.t -> Loop.t -> t
 val linear : t -> Linear.t
 val interval : t -> Temp.t -> Interval.t
 val interval_of_id : t -> int -> Interval.t

@@ -256,7 +256,8 @@ let rewrite t =
   stats.Stats.slots <- Func.n_slots func
 
 let run ?trace machine func =
-  let t0 = Sys.time () in
+  let t0 = Unix.gettimeofday () in
+  let g0 = Gc.quick_stat () in
   (match trace with
   | None -> ()
   | Some sink ->
@@ -264,7 +265,8 @@ let run ?trace machine func =
       (Trace.Fn { name = Func.name func; slots0 = Func.n_slots func }));
   let t = allocate ?trace machine func in
   rewrite t;
-  t.stats.Stats.alloc_time <- Sys.time () -. t0;
+  Stats.record_gc_since t.stats g0;
+  t.stats.Stats.alloc_time <- Unix.gettimeofday () -. t0;
   t.stats
 
 let run_program ?jobs ?trace machine prog =

@@ -22,6 +22,12 @@ type t = {
   mutable time_motion : float;
   mutable time_peephole : float;
   mutable time_slots : float;
+  mutable minor_words : float;
+  mutable promoted_words : float;
+  mutable major_words : float;
+  mutable minor_collections : int;
+  mutable major_collections : int;
+  pass_minor_words : float array;
 }
 
 type pass =
@@ -34,6 +40,19 @@ type pass =
   | Motion
   | Peephole
   | Slots
+
+let n_passes = 9
+
+let pass_index = function
+  | Liveness -> 0
+  | Lifetime -> 1
+  | Scan -> 2
+  | Resolution -> 3
+  | Copyprop -> 4
+  | Dce -> 5
+  | Motion -> 6
+  | Peephole -> 7
+  | Slots -> 8
 
 let create () =
   {
@@ -60,6 +79,12 @@ let create () =
     time_motion = 0.;
     time_peephole = 0.;
     time_slots = 0.;
+    minor_words = 0.;
+    promoted_words = 0.;
+    major_words = 0.;
+    minor_collections = 0;
+    major_collections = 0;
+    pass_minor_words = Array.make n_passes 0.;
   }
 
 let total_spill s =
@@ -91,16 +116,38 @@ let add_pass_time s pass dt =
 
 (* Wall-clock, not [Sys.time]: process CPU time aggregates over every
    running domain, which would overstate each pass once allocation fans
-   out across domains. *)
+   out across domains. [Gc.minor_words] is per-domain, so the delta is
+   this pass's own allocation even when several domains run passes
+   concurrently. *)
 let timed s pass f =
   let t0 = Unix.gettimeofday () in
+  let w0 = Gc.minor_words () in
+  let account () =
+    add_pass_time s pass (Unix.gettimeofday () -. t0);
+    let i = pass_index pass in
+    s.pass_minor_words.(i) <-
+      s.pass_minor_words.(i) +. (Gc.minor_words () -. w0)
+  in
   match f () with
   | v ->
-    add_pass_time s pass (Unix.gettimeofday () -. t0);
+    account ();
     v
   | exception e ->
-    add_pass_time s pass (Unix.gettimeofday () -. t0);
+    account ();
     raise e
+
+(* Delta from a [Gc.quick_stat] snapshot taken earlier {e on the same
+   domain} (quick_stat reads the current domain's counters). *)
+let record_gc_since s (g0 : Gc.stat) =
+  let g1 = Gc.quick_stat () in
+  s.minor_words <- s.minor_words +. (g1.minor_words -. g0.minor_words);
+  s.promoted_words <-
+    s.promoted_words +. (g1.promoted_words -. g0.promoted_words);
+  s.major_words <- s.major_words +. (g1.major_words -. g0.major_words);
+  s.minor_collections <-
+    s.minor_collections + (g1.minor_collections - g0.minor_collections);
+  s.major_collections <-
+    s.major_collections + (g1.major_collections - g0.major_collections)
 
 let add ~into s =
   into.evict_loads <- into.evict_loads + s.evict_loads;
@@ -126,7 +173,16 @@ let add ~into s =
   into.time_dce <- into.time_dce +. s.time_dce;
   into.time_motion <- into.time_motion +. s.time_motion;
   into.time_peephole <- into.time_peephole +. s.time_peephole;
-  into.time_slots <- into.time_slots +. s.time_slots
+  into.time_slots <- into.time_slots +. s.time_slots;
+  into.minor_words <- into.minor_words +. s.minor_words;
+  into.promoted_words <- into.promoted_words +. s.promoted_words;
+  into.major_words <- into.major_words +. s.major_words;
+  into.minor_collections <- into.minor_collections + s.minor_collections;
+  into.major_collections <- into.major_collections + s.major_collections;
+  for i = 0 to n_passes - 1 do
+    into.pass_minor_words.(i) <-
+      into.pass_minor_words.(i) +. s.pass_minor_words.(i)
+  done
 
 let pp fmt s =
   Format.fprintf fmt
@@ -161,4 +217,10 @@ let pp fmt s =
          slots %.2f@]"
         (1e3 *. s.time_copyprop) (1e3 *. s.time_dce) (1e3 *. s.time_motion)
         (1e3 *. s.time_slots)
-  end
+  end;
+  if s.minor_words > 0. then
+    Format.fprintf fmt
+      "@,@[<v>gc: %.0f minor words (%.0f promoted, %.0f major), %d minor / \
+       %d major collections@]"
+      s.minor_words s.promoted_words s.major_words s.minor_collections
+      s.major_collections

@@ -31,6 +31,17 @@ type t = {
   mutable time_motion : float;
   mutable time_peephole : float;
   mutable time_slots : float;
+  mutable minor_words : float;
+      (** GC pressure attributed to the allocator, recorded as
+          [Gc.quick_stat] deltas on whichever domain ran the function
+          (per-domain counters, so parallel runs attribute correctly) *)
+  mutable promoted_words : float;
+  mutable major_words : float;
+  mutable minor_collections : int;
+  mutable major_collections : int;
+  pass_minor_words : float array;
+      (** minor words allocated inside each {!timed} pass, indexed by
+          {!pass_index} *)
 }
 
 (** The passes the wall-time breakdown distinguishes: the two analyses
@@ -52,12 +63,23 @@ type pass =
 val create : unit -> t
 val total_spill : t -> int
 
+(** Number of {!pass} constructors; [pass_minor_words] has this length. *)
+val n_passes : int
+
+(** Dense index of a pass, for [pass_minor_words]. *)
+val pass_index : pass -> int
+
 (** Accumulated wall seconds recorded for a pass. *)
 val pass_time : t -> pass -> float
 
-(** [timed s pass f] runs [f ()] and adds its wall-clock duration to
-    [pass]'s counter in [s] (also on exception). *)
+(** [timed s pass f] runs [f ()] and adds its wall-clock duration and
+    minor-heap allocation to [pass]'s counters in [s] (also on
+    exception). *)
 val timed : t -> pass -> (unit -> 'a) -> 'a
+
+(** [record_gc_since s g0] adds the GC-counter deltas between [g0] and
+    [Gc.quick_stat ()] to [s]. Take [g0] on the same domain. *)
+val record_gc_since : t -> Gc.stat -> unit
 
 (** Accumulate [s] into [into] (max for round/iteration counters, sums
     elsewhere, including the pass times). *)

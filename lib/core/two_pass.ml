@@ -76,12 +76,11 @@ let priority itv =
   let len =
     float_of_int (max 1 (Interval.stop itv - Interval.start itv + 1))
   in
-  let w =
-    List.fold_left
-      (fun acc r -> acc +. (10.0 ** float_of_int r.Interval.rdepth))
-      0.0 (Interval.refs itv)
-  in
-  w /. len
+  let w = ref 0.0 in
+  for i = 0 to Interval.n_refs itv - 1 do
+    w := !w +. (10.0 ** float_of_int (Interval.ref_depth_at itv i))
+  done;
+  !w /. len
 
 let allocate ?trace machine func =
   let regidx = Regidx.create machine in
@@ -138,12 +137,11 @@ let allocate ?trace machine func =
       let s = Func.fresh_slot func in
       t.slot_of.(id) <- Some s;
       tr (Trace.Slot_alloc { temp = tname id; id; slot = s }));
-    List.iter
-      (fun r ->
-        match r.Interval.rkind with
-        | Interval.Read -> push (Point (id, r.Interval.rpos, Interval.Read))
-        | Interval.Write -> push (Point (id, r.Interval.rpos, Interval.Write)))
-      (Interval.refs (Lifetime.interval_of_id lifetimes id))
+    let itv = Lifetime.interval_of_id lifetimes id in
+    for i = 0 to Interval.n_refs itv - 1 do
+      push
+        (Point (id, Interval.ref_pos_at itv i, Interval.ref_kind_at itv i))
+    done
   in
   let try_fit segs cand_regs =
     let fitting =
@@ -377,7 +375,8 @@ let rewrite t =
   stats.Stats.slots <- Func.n_slots func
 
 let run ?trace machine func =
-  let t0 = Sys.time () in
+  let t0 = Unix.gettimeofday () in
+  let g0 = Gc.quick_stat () in
   (match trace with
   | None -> ()
   | Some sink ->
@@ -385,7 +384,8 @@ let run ?trace machine func =
       (Trace.Fn { name = Func.name func; slots0 = Func.n_slots func }));
   let t = allocate ?trace machine func in
   rewrite t;
-  t.stats.Stats.alloc_time <- Sys.time () -. t0;
+  Stats.record_gc_since t.stats g0;
+  t.stats.Stats.alloc_time <- Unix.gettimeofday () -. t0;
   t.stats
 
 let run_program ?jobs ?trace machine prog =

@@ -16,9 +16,13 @@ let flush t =
   t.queue <- [];
   (* Each request is independent; exceptions stay in their own slot so
      one malformed request cannot poison a batch (map_array would
-     re-raise and abandon the other results). *)
+     re-raise and abandon the other results). Source length stands in
+     for compile cost so the largest requests are dealt first. *)
   let results =
-    Lsra.Parallel.map_array ~jobs:t.jobs batch (fun req ->
+    Lsra.Parallel.map_array ~jobs:t.jobs
+      ~weight:(fun req -> String.length req.Service.source)
+      batch
+      (fun req ->
         match Service.handle t.svc req with
         | resp -> Ok resp
         | exception e -> Error e)

@@ -245,11 +245,55 @@ let interval_invariants seed =
         (Func.temps f))
     (Program.funcs prog)
 
+(* The arena construction (flat per-domain workspace, CSR slices) must be
+   structurally indistinguishable from the retired list-based one: same
+   segments, same references (position, kind, depth), same register busy
+   segments — on both register files. *)
+let arena_matches_boxed seed =
+  let params =
+    {
+      Lsra_workloads.Gen.default_params with
+      Lsra_workloads.Gen.seed;
+      n_temps = 8 + (seed mod 9);
+    }
+  in
+  List.for_all
+    (fun machine ->
+      let prog = Lsra_workloads.Gen.program ~params machine in
+      let regidx = Lsra.Regidx.create machine in
+      List.for_all
+        (fun (_, f) ->
+          let liveness = Liveness.compute f in
+          let loops = Loop.compute (Func.cfg f) in
+          let arena = Lsra.Lifetime.compute regidx f liveness loops in
+          let boxed = Lsra.Lifetime.compute_boxed regidx f liveness loops in
+          let same_interval t =
+            let a = Lsra.Lifetime.interval arena t in
+            let b = Lsra.Lifetime.interval boxed t in
+            Lsra.Interval.segs a = Lsra.Interval.segs b
+            && Lsra.Interval.refs a = Lsra.Interval.refs b
+          in
+          let temps_ok = List.for_all same_interval (Func.temps f) in
+          let regs_ok =
+            let ok = ref true in
+            for r = 0 to Lsra.Regidx.total regidx - 1 do
+              if Lsra.Lifetime.reg_busy arena r <> Lsra.Lifetime.reg_busy boxed r
+              then ok := false
+            done;
+            !ok
+          in
+          temps_ok && regs_ok)
+        (Program.funcs prog))
+    [ Machine.alpha_like; Machine.small () ]
+
 let props =
   [
     QCheck.Test.make ~name:"interval invariants on random programs" ~count:40
       QCheck.(int_range 0 10_000)
       interval_invariants;
+    QCheck.Test.make ~name:"arena lifetime matches boxed oracle" ~count:30
+      QCheck.(int_range 0 10_000)
+      arena_matches_boxed;
   ]
 
 let suite =

@@ -22,4 +22,5 @@ let () =
       ("text", Suite_text.suite);
       ("trace", Suite_trace.suite);
       ("service", Suite_service.suite);
+      ("parallel", Suite_parallel.suite);
     ]
