@@ -672,31 +672,36 @@ let perfdump () =
    downgrade count and throughput into BENCH_service.json, and
    spot-checks a sample of warm responses against a direct
    [Allocator.pipeline] run (byte-identical or exit 4). *)
-let service () =
+let service_corpus () =
+  List.map
+    (fun (case : Lsra_workloads.Specbench.case) ->
+      ( "spec:" ^ case.Lsra_workloads.Specbench.name,
+        Lsra_text.Ir_text.to_string case.Lsra_workloads.Specbench.program ))
+    (cases ())
+  @ List.map
+      (fun shape ->
+        ( "pressure:" ^ shape.Lsra_workloads.Pressure.sname,
+          Lsra_text.Ir_text.to_string
+            (Lsra_workloads.Pressure.build machine shape) ))
+      [
+        Lsra_workloads.Pressure.cvrin;
+        Lsra_workloads.Pressure.twldrv;
+        Lsra_workloads.Pressure.fpppp;
+      ]
+  @ List.filter_map
+      (fun { Lsra_workloads.Mini_corpus.mname; source; minput = _ } ->
+        match Lsra_frontend.Minilang.compile machine source with
+        | prog -> Some ("mini:" ^ mname, Lsra_text.Ir_text.to_string prog)
+        | exception Lsra_frontend.Lower.Error _ -> None)
+      Lsra_workloads.Mini_corpus.all
+
+let pct a p =
+  if Array.length a = 0 then 0.
+  else a.(int_of_float (p *. float_of_int (Array.length a - 1)))
+
+let service_inproc () =
   let passes = Lsra.Passes.default in
-  let corpus_sources =
-    List.map
-      (fun (case : Lsra_workloads.Specbench.case) ->
-        ( "spec:" ^ case.Lsra_workloads.Specbench.name,
-          Lsra_text.Ir_text.to_string case.Lsra_workloads.Specbench.program ))
-      (cases ())
-    @ List.map
-        (fun shape ->
-          ( "pressure:" ^ shape.Lsra_workloads.Pressure.sname,
-            Lsra_text.Ir_text.to_string
-              (Lsra_workloads.Pressure.build machine shape) ))
-        [
-          Lsra_workloads.Pressure.cvrin;
-          Lsra_workloads.Pressure.twldrv;
-          Lsra_workloads.Pressure.fpppp;
-        ]
-    @ List.filter_map
-        (fun { Lsra_workloads.Mini_corpus.mname; source; minput = _ } ->
-          match Lsra_frontend.Minilang.compile machine source with
-          | prog -> Some ("mini:" ^ mname, Lsra_text.Ir_text.to_string prog)
-          | exception Lsra_frontend.Lower.Error _ -> None)
-        Lsra_workloads.Mini_corpus.all
-  in
+  let corpus_sources = service_corpus () in
   let n = List.length corpus_sources in
   let cfg =
     {
@@ -721,10 +726,12 @@ let service () =
     let wall = Unix.gettimeofday () -. t0 in
     let responses =
       List.map
-        (function
+        (fun ((req : Lsra_service.Service.request), result) ->
+          match result with
           | Ok r -> r
           | Error e ->
-            Printf.eprintf "bench service: %s request failed: %s\n%!" tag
+            Printf.eprintf "bench service: %s request %s failed: %s\n%!" tag
+              req.Lsra_service.Service.req_id
               (Lsra_service.Protocol.err_message_of_exn e);
             exit (max 1 (Lsra_service.Protocol.err_code_of_exn e)))
         results
@@ -737,10 +744,6 @@ let service () =
     in
     Array.sort compare a;
     a
-  in
-  let pct a p =
-    if Array.length a = 0 then 0.
-    else a.(int_of_float (p *. float_of_int (Array.length a - 1)))
   in
   let binpack = Lsra.Allocator.default_second_chance in
   let cold, cold_wall = replay "cold" binpack in
@@ -829,6 +832,245 @@ let service () =
       warm_hit_rate;
     exit 1
   end
+
+let rec rm_rf path =
+  match Unix.lstat path with
+  | { Unix.st_kind = Unix.S_DIR; _ } ->
+    Array.iter (fun e -> rm_rf (Filename.concat path e)) (Sys.readdir path);
+    Unix.rmdir path
+  | _ -> Unix.unlink path
+  | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ()
+
+(* The server's bind races our first connect: retry until it is up. *)
+let connect_retry fd path =
+  let rec go n =
+    match Unix.connect fd (Unix.ADDR_UNIX path) with
+    | () -> ()
+    | exception Unix.Unix_error ((Unix.ENOENT | Unix.ECONNREFUSED), _, _)
+      when n < 250 ->
+      ignore (Unix.select [] [] [] 0.02);
+      go (n + 1)
+  in
+  go 0
+
+(* [bench service --clients K]: replay the corpus from K concurrent
+   socket clients against a mux-served server backed by a persistent
+   sharded store — cold pass, warm pass — then shut the server down and
+   prove a {e fresh} one (same store directory, empty in-memory cache)
+   reaches the warm-hit bar purely from the journal. Every served
+   payload is byte-diffed against a direct [Allocator.pipeline] run
+   (zero-divergence gate). *)
+let service_clients k =
+  let passes = Lsra.Passes.default in
+  let binpack = Lsra.Allocator.default_second_chance in
+  let entries =
+    List.map
+      (fun (name, source) ->
+        let prog = Lsra_text.Ir_text.of_string source in
+        ignore (Lsra.Allocator.pipeline ~passes binpack machine prog);
+        (name, source, Lsra_text.Ir_text.to_string prog))
+      (service_corpus ())
+  in
+  let n = List.length entries in
+  let tmp =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "lsra-bench-service-%d" (Unix.getpid ()))
+  in
+  rm_rf tmp;
+  (try Unix.mkdir tmp 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  let store_dir = Filename.concat tmp "store" in
+  let sock_path = Filename.concat tmp "serve.sock" in
+  let shards = 4 in
+  let divergences = ref 0 and client_err = ref 0 in
+  let tally = Mutex.create () in
+  let client tag i part =
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    connect_retry fd sock_path;
+    let ic = Unix.in_channel_of_descr fd in
+    let oc = Unix.out_channel_of_descr fd in
+    let lats = ref [] and hits = ref 0 in
+    List.iter
+      (fun (name, source, expected) ->
+        let id = Printf.sprintf "%s:c%d:%s" tag i name in
+        let t0 = Unix.gettimeofday () in
+        output_string oc
+          (Lsra_service.Protocol.render_frame ("REQ " ^ id) (Some source));
+        flush oc;
+        let rec reply () =
+          match In_channel.input_line ic with
+          | None -> failwith "bench service: server closed the connection"
+          | Some "" -> reply ()
+          | Some line -> (
+            match Lsra_service.Protocol.parse_reply line with
+            | Ok (Lsra_service.Protocol.R_ok { hit; body_len = Some len; _ })
+              ->
+              let body = really_input_string ic len in
+              lats := (Unix.gettimeofday () -. t0) :: !lats;
+              if hit then incr hits;
+              if not (String.equal body expected) then begin
+                Mutex.lock tally;
+                incr divergences;
+                Mutex.unlock tally;
+                Printf.eprintf
+                  "bench service: DIVERGENCE on %s (served != direct)\n%!"
+                  name
+              end
+            | Ok (Lsra_service.Protocol.R_ok { body_len = None; _ }) ->
+              failwith "bench service: OK reply without len="
+            | Ok (Lsra_service.Protocol.R_err { code; msg; _ }) ->
+              Mutex.lock tally;
+              client_err := max !client_err (max 1 code);
+              Mutex.unlock tally;
+              Printf.eprintf "bench service: ERR %d on %s: %s\n%!" code name
+                msg
+            | Ok (Lsra_service.Protocol.R_stats _) -> reply ()
+            | Error m -> failwith ("bench service: bad reply: " ^ m))
+        in
+        reply ())
+      part;
+    Unix.close fd;
+    (!lats, !hits)
+  in
+  let parts = Array.make k [] in
+  List.iteri (fun i e -> parts.(i mod k) <- e :: parts.(i mod k)) entries;
+  (* One pass: K client domains in lockstep request/response; requests
+     that land in the same event-loop round share a scheduler batch. *)
+  let replay tag =
+    let t0 = Unix.gettimeofday () in
+    let doms =
+      Array.to_list
+        (Array.mapi
+           (fun i part -> Domain.spawn (fun () -> client tag i part))
+           parts)
+    in
+    let results = List.map Domain.join doms in
+    let wall = Unix.gettimeofday () -. t0 in
+    let lats = Array.of_list (List.concat_map fst results) in
+    Array.sort compare lats;
+    let hits = List.fold_left (fun acc (_, h) -> acc + h) 0 results in
+    (lats, hits, wall)
+  in
+  (* Boot a server process-equivalent: fresh service (warm-loading from
+     [store_dir] if a journal exists), scheduler over the domain pool,
+     mux on a fresh socket. Returns whatever [f] produced plus the
+     warm-load count and the server's exit severity. *)
+  let with_server f =
+    let svc =
+      Lsra_service.Service.create
+        {
+          (Lsra_service.Service.default_config machine) with
+          Lsra_service.Service.spot_check = 4;
+          shards;
+          store_dir = Some store_dir;
+        }
+    in
+    let warm_loaded =
+      (Lsra_service.Service.counters svc).Lsra_service.Service.warm_loaded
+    in
+    let sched =
+      Lsra_service.Scheduler.create ~capacity:(max 8 (2 * k)) ~jobs svc
+    in
+    let srv =
+      Domain.spawn (fun () ->
+          Lsra_service.Server.serve_socket ~max_clients:(k + 4) sched
+            sock_path)
+    in
+    let r = f () in
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    connect_retry fd sock_path;
+    let ic = Unix.in_channel_of_descr fd in
+    let oc = Unix.out_channel_of_descr fd in
+    output_string oc (Lsra_service.Protocol.render_frame "STATS shutdown" None);
+    output_string oc (Lsra_service.Protocol.render_frame "QUIT" None);
+    flush oc;
+    ignore (In_channel.input_line ic);
+    Unix.close fd;
+    let severity = Domain.join srv in
+    (r, warm_loaded, severity)
+  in
+  let (cold, warm), first_loaded, sev1 =
+    with_server (fun () ->
+        let cold = replay "cold" in
+        let warm = replay "warm" in
+        (cold, warm))
+  in
+  let restart, restart_loaded, sev2 = with_server (fun () -> replay "restart") in
+  let _, _, _ = cold in
+  let _, warm_hits, _ = warm in
+  let _, restart_hits, _ = restart in
+  let rate h = float_of_int h /. float_of_int (max 1 n) in
+  let pass_json name (lat, hits, wall) =
+    Printf.sprintf
+      "  \"%s\": { \"wall_s\": %.6f, \"p50_s\": %.6f, \"p99_s\": %.6f, \
+       \"throughput_rps\": %.1f, \"hit_rate\": %.3f },\n"
+      name wall (pct lat 0.50) (pct lat 0.99)
+      (float_of_int n /. wall)
+      (rate hits)
+  in
+  let buf = Buffer.create 2048 in
+  Printf.bprintf buf
+    "{\n  \"machine\": %S,\n  \"scale\": %d,\n  \"jobs\": %d,\n\
+    \  \"clients\": %d,\n  \"shards\": %d,\n  \"requests\": %d,\n"
+    (Machine.name machine) scale jobs k shards n;
+  Buffer.add_string buf (pass_json "cold" cold);
+  Buffer.add_string buf (pass_json "warm" warm);
+  Buffer.add_string buf (pass_json "restart" restart);
+  Printf.bprintf buf
+    "  \"warm_loaded_on_restart\": %d,\n\
+    \  \"diffexec_spot\": { \"checked\": %d, \"divergences\": %d }\n}\n"
+    restart_loaded (3 * n) !divergences;
+  let out = bench_out_path "BENCH_service.json" in
+  Out_channel.with_open_text out (fun oc ->
+      Out_channel.output_string oc (Buffer.contents buf));
+  Printf.printf
+    "service: %d clients x %d requests/pass over %s\n" k n sock_path;
+  List.iter
+    (fun (name, (lat, hits, wall)) ->
+      Printf.printf
+        "service: %-7s p50 %.2fms p99 %.2fms, %.1f req/s, hit rate %.1f%% \
+         (%d/%d) in %.2fs\n"
+        name
+        (1e3 *. pct lat 0.50)
+        (1e3 *. pct lat 0.99)
+        (float_of_int n /. wall)
+        (100. *. rate hits) hits n wall)
+    [ ("cold", cold); ("warm", warm); ("restart", restart) ];
+  Printf.printf
+    "service: restart warm-loaded %d journal records (first boot %d) — \
+     wrote %s\n"
+    restart_loaded first_loaded out;
+  rm_rf tmp;
+  if !divergences > 0 then exit 4;
+  let sev = max sev1 sev2 in
+  if sev > 0 then exit sev;
+  if !client_err > 0 then exit !client_err;
+  if rate warm_hits < 0.9 then begin
+    Printf.eprintf "bench service: warm hit rate %.3f below the 0.9 bar\n%!"
+      (rate warm_hits);
+    exit 1
+  end;
+  if rate restart_hits < 0.9 || restart_loaded = 0 then begin
+    Printf.eprintf
+      "bench service: restart hit rate %.3f (warm-loaded %d) below the 0.9 \
+       bar — the journal did not survive the restart\n%!"
+      (rate restart_hits) restart_loaded;
+    exit 1
+  end
+
+let service () =
+  let rec scan i =
+    if i + 1 >= Array.length Sys.argv then None
+    else if Sys.argv.(i) = "--clients" then
+      match int_of_string_opt Sys.argv.(i + 1) with
+      | Some c when c >= 1 -> Some c
+      | Some _ | None ->
+        Printf.eprintf "bench service: malformed --clients %S (expected >= 1)\n"
+          Sys.argv.(i + 1);
+        exit 2
+    else scan (i + 1)
+  in
+  match scan 2 with None -> service_inproc () | Some k -> service_clients k
 
 (* ------------------------------------------------------------------ *)
 

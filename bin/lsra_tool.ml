@@ -575,8 +575,39 @@ let serve_cmd =
           ~doc:"Skip the abstract verifier on cold fills (it is on by \
                 default in serving mode).")
   in
+  let store_dir_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "store-dir" ] ~docv:"DIR"
+          ~doc:
+            "Persist completed allocations to an append-only journal under \
+             $(docv) (created if missing) and warm-load the cache from it \
+             at startup, so a restarted server answers from disk what the \
+             previous one computed.")
+  in
+  let shards_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "shards" ] ~docv:"N"
+          ~doc:
+            "Shard the in-memory cache and the persistent store $(docv)-way \
+             by a restart-stable key hash. Separate server processes given \
+             the same shard count agree on which shard owns a key, so they \
+             compose behind a key-hashing router. A store directory must \
+             always be reopened with the shard count it was created with.")
+  in
+  let max_clients_arg =
+    Arg.(
+      value & opt int 64
+      & info [ "max-clients" ] ~docv:"N"
+          ~doc:
+            "Maximum concurrent socket connections the multiplexer accepts \
+             (socket mode only); further clients queue in the listen \
+             backlog.")
+  in
   let run machine jobs socket cache_bytes cache_entries queue spot_check
-      no_verify =
+      no_verify store_dir shards max_clients =
     handle_errors (fun () ->
         let cfg =
           {
@@ -585,6 +616,8 @@ let serve_cmd =
             spot_check;
             cache_bytes;
             cache_entries;
+            store_dir;
+            shards;
           }
         in
         let svc = Lsra_service.Service.create cfg in
@@ -594,7 +627,8 @@ let serve_cmd =
         let severity =
           match socket with
           | None -> Lsra_service.Server.serve_stdio sched
-          | Some path -> Lsra_service.Server.serve_socket sched path
+          | Some path ->
+            Lsra_service.Server.serve_socket ~max_clients sched path
         in
         if severity > 0 then exit severity)
   in
@@ -602,18 +636,22 @@ let serve_cmd =
     (Cmd.info "serve"
        ~doc:
          "Run the allocation service: newline-framed textual-IR requests \
-          (REQ/END frames, batched by FLUSH or a full queue) over \
-          stdin/stdout or a Unix socket, answered from a content-addressed \
-          result cache with LRU eviction. Requests may carry a \
-          deadline-ms compile budget; when the requested allocator's \
-          predicted time would blow it, the service downgrades to a \
-          cheaper linear-scan variant (recorded in the response header \
-          and the statistics). Exits 0 normally, 3 if any cold \
-          allocation was rejected by the verifier, 4 if a cache \
+          (REQ frames with len=-prefixed bodies, batched by FLUSH or a \
+          full queue) over stdin/stdout or a Unix socket, answered from a \
+          content-addressed result cache with LRU eviction. In socket mode \
+          a select-based multiplexer serves many connections at once and \
+          coalesces their concurrent requests into shared batches; with \
+          $(b,--store-dir) the cache is journaled to disk and warm-loaded \
+          on restart. Requests may carry a deadline-ms compile budget; \
+          when the requested allocator's predicted time would blow it, the \
+          service downgrades to a cheaper linear-scan variant (recorded in \
+          the response header and the statistics). Exits 0 normally, 3 if \
+          any cold allocation was rejected by the verifier, 4 if a cache \
           spot-check found a divergence.")
     Term.(
       const run $ machine_arg $ jobs_arg $ socket_arg $ cache_bytes_arg
-      $ cache_entries_arg $ queue_arg $ spot_check_arg $ no_verify_arg)
+      $ cache_entries_arg $ queue_arg $ spot_check_arg $ no_verify_arg
+      $ store_dir_arg $ shards_arg $ max_clients_arg)
 
 let () =
   let default = Term.(ret (const (`Help (`Pager, None)))) in

@@ -1,0 +1,388 @@
+(* Event-driven connection multiplexer.
+
+   One [Unix.select] loop owns the listening socket and every client
+   connection. Frames are parsed incrementally out of per-connection
+   read buffers (a connection may deliver half a header, a megabyte of
+   body, or six whole frames per readiness event — all are fine), and
+   completed requests from *all* connections feed the one shared
+   batched {!Scheduler}, so independent clients' concurrent requests
+   coalesce into one domain-pool batch. Responses are routed back by
+   (connection, request id): the scheduler returns each response paired
+   with the request it answers, and the mux keeps its own
+   submission-order queue of (connection, id) — any disagreement
+   between the two is a hard internal error, never a frame written to
+   the wrong client.
+
+   The batch boundary is the event-loop round: after every readiness
+   sweep, whatever requests arrived — across every connection — are
+   flushed as one batch. FLUSH/STATS force a flush mid-round exactly as
+   they do on the blocking path, and the scheduler's bounded queue
+   still auto-drains on capacity. *)
+
+type req_hdr = {
+  id : string;
+  algo : Lsra.Allocator.algorithm;
+  passes : Lsra.Passes.t list;
+  deadline : float option;
+}
+
+type istate =
+  | Idle  (* awaiting a header line *)
+  | Body_len of { hdr : req_hdr; need : int }  (* length-prefixed body *)
+  | Body_lines of { hdr : req_hdr; body : Buffer.t }  (* legacy END *)
+
+type conn = {
+  fd : Unix.file_descr;
+  mutable rbuf : Bytes.t;
+  mutable rlen : int;  (* valid bytes in [rbuf] *)
+  mutable rpos : int;  (* consumed prefix of [rbuf] *)
+  mutable state : istate;
+  wq : Buffer.t;  (* response bytes not yet written *)
+  mutable wpos : int;  (* written prefix of [wq] *)
+  mutable severity : int;
+  mutable eof : bool;  (* read side done (EOF or reset) *)
+  mutable dead : bool;  (* fully abandoned; fd closed *)
+  mutable closed : bool;
+}
+
+type t = {
+  sched : Scheduler.t;
+  lsock : Unix.file_descr;
+  max_clients : int;
+  mutable conns : conn list;
+  (* Submission order across all connections; must stay in lockstep
+     with the scheduler's queue. *)
+  pending : (conn * string) Queue.t;
+  mutable quit : bool;
+  mutable severity : int;
+}
+
+(* A len= larger than this is a protocol violation, not a request: the
+   connection is answered with an ERR and dropped rather than letting a
+   single header commit the server to buffering gigabytes. *)
+let max_body = 64 * 1024 * 1024
+
+let make_conn fd =
+  {
+    fd;
+    rbuf = Bytes.create 8192;
+    rlen = 0;
+    rpos = 0;
+    state = Idle;
+    wq = Buffer.create 1024;
+    wpos = 0;
+    severity = 0;
+    eof = false;
+    dead = false;
+    closed = false;
+  }
+
+let close_conn t c =
+  if not c.closed then begin
+    c.closed <- true;
+    (try Unix.close c.fd with Unix.Unix_error _ -> ())
+  end;
+  (* Per-connection severity, aggregated explicitly at close: one
+     client's verifier reject or spot-check divergence raises the
+     server's exit code without ever leaking into another connection's
+     session. *)
+  t.severity <- max t.severity c.severity
+
+let mark_dead t c =
+  c.dead <- true;
+  Buffer.clear c.wq;
+  c.wpos <- 0;
+  close_conn t c
+
+let queue_frame c line payload =
+  if not c.dead then Buffer.add_string c.wq (Protocol.render_frame line payload)
+
+let try_write t c =
+  if (not c.dead) && Buffer.length c.wq > c.wpos then begin
+    match
+      Unix.write_substring c.fd (Buffer.contents c.wq) c.wpos
+        (Buffer.length c.wq - c.wpos)
+    with
+    | n ->
+      c.wpos <- c.wpos + n;
+      if c.wpos = Buffer.length c.wq then begin
+        Buffer.clear c.wq;
+        c.wpos <- 0
+      end
+    | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _) -> ()
+    | exception Unix.Unix_error _ -> mark_dead t c  (* EPIPE & friends *)
+  end
+
+(* Route (request, result) pairs back to their connections. The mux's
+   pending queue and the scheduler's batch were filled in the same
+   submission order, so the heads must agree — anything else means the
+   pairing invariant broke, and failing loudly beats answering the
+   wrong client. *)
+let route t pairs =
+  List.iter
+    (fun ((req : Service.request), result) ->
+      match Queue.take_opt t.pending with
+      | None ->
+        failwith "Mux: internal error: response without a pending request"
+      | Some (c, rid) ->
+        if not (String.equal rid req.Service.req_id) then
+          failwith
+            (Printf.sprintf
+               "Mux: internal error: response for %S routed to slot %S"
+               req.Service.req_id rid);
+        (match result with
+        | Ok (resp : Service.response) ->
+          queue_frame c (Protocol.render_ok resp) (Some resp.Service.output)
+        | Error e ->
+          let code = Protocol.err_code_of_exn e in
+          (* Bad input (code 1) is the client's problem; verifier
+             rejects and spot-check divergences are ours. *)
+          c.severity <- max c.severity (if code = 1 then 0 else code);
+          queue_frame c
+            (Protocol.render_err ~id:rid ~code
+               (Protocol.err_message_of_exn e))
+            None))
+    pairs
+
+let flush_batch t = route t (Scheduler.flush t.sched)
+
+let submit_req t c (hdr : req_hdr) body =
+  let req =
+    Service.request ~algo:hdr.algo ~passes:hdr.passes ?deadline:hdr.deadline
+      ~id:hdr.id body
+  in
+  Queue.push (c, hdr.id) t.pending;
+  (* Capacity auto-drain may answer a whole batch right here. *)
+  route t (Scheduler.submit t.sched req)
+
+(* ------------------------------------------------------------------ *)
+(* Incremental reading and parsing                                     *)
+
+let ensure_read_capacity c =
+  if c.rlen = Bytes.length c.rbuf || c.rpos = c.rlen then begin
+    (* Slide the unconsumed suffix down before growing. *)
+    if c.rpos > 0 then begin
+      Bytes.blit c.rbuf c.rpos c.rbuf 0 (c.rlen - c.rpos);
+      c.rlen <- c.rlen - c.rpos;
+      c.rpos <- 0
+    end;
+    if c.rlen = Bytes.length c.rbuf then begin
+      let bigger = Bytes.create (2 * Bytes.length c.rbuf) in
+      Bytes.blit c.rbuf 0 bigger 0 c.rlen;
+      c.rbuf <- bigger
+    end
+  end
+
+let read_chunk c =
+  ensure_read_capacity c;
+  match Unix.read c.fd c.rbuf c.rlen (Bytes.length c.rbuf - c.rlen) with
+  | 0 -> c.eof <- true
+  | n -> c.rlen <- c.rlen + n
+  | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _) -> ()
+  | exception Unix.Unix_error _ -> c.eof <- true  (* reset: same as EOF *)
+
+let find_nl c =
+  let rec go i =
+    if i >= c.rlen then None
+    else if Bytes.get c.rbuf i = '\n' then Some i
+    else go (i + 1)
+  in
+  go c.rpos
+
+let take_line c nl =
+  let s = Bytes.sub_string c.rbuf c.rpos (nl - c.rpos) in
+  c.rpos <- nl + 1;
+  let n = String.length s in
+  if n > 0 && s.[n - 1] = '\r' then String.sub s 0 (n - 1) else s
+
+(* Discard the rest of a connection's input (protocol violation or
+   disconnect mid-frame): stop reading, drain what we owe, then close. *)
+let poison c =
+  c.rpos <- c.rlen;
+  c.state <- Idle;
+  c.eof <- true
+
+let stats_line t id =
+  Protocol.render_stats ~id (Service.counters (Scheduler.service t.sched))
+
+let rec parse_conn t c =
+  if c.dead || t.quit then ()
+  else
+    match c.state with
+    | Idle -> (
+      match find_nl c with
+      | None ->
+        (* Incomplete header. At EOF the stub is unanswerable — the
+           client vanished mid-frame; drop it and let the close path
+           run. Other connections are unaffected. *)
+        if c.eof then c.rpos <- c.rlen
+      | Some nl -> (
+        let line = take_line c nl in
+        if line = "" then parse_conn t c
+        else
+          match Protocol.parse_header line with
+          | Error msg ->
+            queue_frame c (Protocol.render_err ~id:"-" ~code:1 msg) None;
+            parse_conn t c
+          | Ok (Protocol.H_req { id; algo; passes; deadline; body_len }) -> (
+            let hdr = { id; algo; passes; deadline } in
+            match body_len with
+            | Some need when need > max_body ->
+              queue_frame c
+                (Protocol.render_err ~id ~code:1
+                   (Printf.sprintf "len=%d exceeds the %d-byte frame cap"
+                      need max_body))
+                None;
+              poison c
+            | Some need ->
+              c.state <- Body_len { hdr; need };
+              parse_conn t c
+            | None ->
+              c.state <- Body_lines { hdr; body = Buffer.create 256 };
+              parse_conn t c)
+          | Ok Protocol.H_flush ->
+            flush_batch t;
+            parse_conn t c
+          | Ok (Protocol.H_stats id) ->
+            flush_batch t;
+            queue_frame c (stats_line t id) None;
+            parse_conn t c
+          | Ok Protocol.H_quit -> t.quit <- true))
+    | Body_len { hdr; need } ->
+      if c.rlen - c.rpos >= need then begin
+        let body = Bytes.sub_string c.rbuf c.rpos need in
+        c.rpos <- c.rpos + need;
+        c.state <- Idle;
+        submit_req t c hdr body;
+        parse_conn t c
+      end
+      else if c.eof then begin
+        queue_frame c
+          (Protocol.render_err ~id:hdr.id ~code:1
+             "end of input inside a REQ frame (len= body truncated)")
+          None;
+        poison c
+      end
+    | Body_lines { hdr; body } -> (
+      match find_nl c with
+      | None ->
+        if c.eof then begin
+          queue_frame c
+            (Protocol.render_err ~id:hdr.id ~code:1
+               "end of input inside a REQ frame (missing END)")
+            None;
+          poison c
+        end
+      | Some nl ->
+        let line = take_line c nl in
+        if line = "END" then begin
+          c.state <- Idle;
+          submit_req t c hdr (Buffer.contents body);
+          parse_conn t c
+        end
+        else begin
+          Buffer.add_string body line;
+          Buffer.add_char body '\n';
+          parse_conn t c
+        end)
+
+(* ------------------------------------------------------------------ *)
+(* Accepting                                                           *)
+
+(* EINTR is a retry, ECONNABORTED is a client that gave up while
+   queued — neither may kill the accept loop (they used to). EAGAIN
+   ends the sweep: the listening socket is non-blocking, so a readiness
+   event is drained to empty every time. *)
+let accept_clients t =
+  let rec go () =
+    if (not t.quit) && List.length t.conns < t.max_clients then
+      match Unix.accept t.lsock with
+      | fd, _ ->
+        Unix.set_nonblock fd;
+        t.conns <- make_conn fd :: t.conns;
+        go ()
+      | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK), _, _) -> ()
+      | exception Unix.Unix_error (EINTR, _, _) -> go ()
+      | exception Unix.Unix_error (ECONNABORTED, _, _) -> go ()
+  in
+  go ()
+
+let reap t =
+  let drained c = Buffer.length c.wq = c.wpos in
+  let keep, drop =
+    List.partition (fun c -> (not c.dead) && not (c.eof && drained c)) t.conns
+  in
+  List.iter (fun c -> close_conn t c) drop;
+  t.conns <- keep
+
+let drained_all t =
+  List.for_all (fun c -> c.dead || Buffer.length c.wq = c.wpos) t.conns
+
+let run ?(max_clients = 64) sched lsock =
+  (* A client that hangs up right before we answer must surface as
+     EPIPE on the write (handled per connection), not as a SIGPIPE that
+     kills the whole server. *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ -> ());
+  Unix.set_nonblock lsock;
+  let t =
+    {
+      sched;
+      lsock;
+      max_clients = max 1 max_clients;
+      conns = [];
+      pending = Queue.create ();
+      quit = false;
+      severity = 0;
+    }
+  in
+  let running = ref true in
+  while !running do
+    if t.quit && drained_all t then running := false
+    else begin
+      let reads =
+        if t.quit then []
+        else
+          (if List.length t.conns < t.max_clients then [ t.lsock ] else [])
+          @ List.filter_map
+              (fun c -> if c.dead || c.eof then None else Some c.fd)
+              t.conns
+      in
+      let writes =
+        List.filter_map
+          (fun c ->
+            if (not c.dead) && Buffer.length c.wq > c.wpos then Some c.fd
+            else None)
+          t.conns
+      in
+      if reads = [] && writes = [] then
+        (* All connections quiesced mid-shutdown or at the client cap
+           with nothing to do: breathe instead of spinning. *)
+        ignore (Unix.select [] [] [] 0.05)
+      else begin
+        match Unix.select reads writes [] (-1.) with
+        | exception Unix.Unix_error (EINTR, _, _) -> ()
+        | rs, ws, _ ->
+          if List.memq t.lsock rs then accept_clients t;
+          List.iter
+            (fun c ->
+              if List.memq c.fd rs then begin
+                read_chunk c;
+                parse_conn t c
+              end)
+            t.conns;
+          (* Batch boundary: everything that arrived this round — from
+             every connection — is one scheduler batch. *)
+          if Scheduler.pending t.sched > 0 then flush_batch t;
+          List.iter
+            (fun c ->
+              if List.memq c.fd ws || Buffer.length c.wq > c.wpos then
+                try_write t c)
+            t.conns;
+          reap t
+      end
+    end
+  done;
+  List.iter (fun c -> close_conn t c) t.conns;
+  t.conns <- [];
+  t.severity

@@ -1,0 +1,31 @@
+(** [Unix.select]-based connection multiplexer for the socket server.
+
+    One event loop owns the listening socket and up to [max_clients]
+    concurrent connections. Frames are parsed incrementally out of
+    per-connection read buffers (partial headers, partial bodies and
+    many-frames-per-read all work), completed requests from {e every}
+    connection feed the one shared batched {!Scheduler} — so independent
+    clients' concurrent requests coalesce into a single domain-pool
+    batch — and each response is routed back to the connection that
+    asked, by (connection, request id). The batch boundary is the
+    event-loop round: after each readiness sweep everything that arrived
+    is flushed as one batch (FLUSH/STATS and the scheduler's capacity
+    auto-drain still force earlier flushes).
+
+    Robustness properties the blocking loop lacked:
+    - [EINTR] on accept retries and [ECONNABORTED] skips the aborted
+      client; neither kills the server.
+    - A client disconnecting mid-frame poisons only its own connection;
+      every other client is unaffected.
+    - Severity (worst non-input [ERR] code) is tracked per connection
+      and aggregated explicitly when the connection closes, so one
+      client's verifier reject can't leak into another's session — but
+      still decides the server's own exit. *)
+
+(** [run ?max_clients sched lsock] serves the already-listening socket
+    [lsock] (which is switched to non-blocking) until a client sends
+    [QUIT]; pending responses are drained before returning. Closes every
+    client connection but {e not} [lsock]. Returns the worst severity
+    seen across all connections (0, 3 or 4). Raises [Failure] on a
+    request/response pairing violation — an internal invariant. *)
+val run : ?max_clients:int -> Scheduler.t -> Unix.file_descr -> int

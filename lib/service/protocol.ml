@@ -4,6 +4,7 @@ type header =
       algo : Lsra.Allocator.algorithm;
       passes : Lsra.Passes.t list;
       deadline : float option;
+      body_len : int option;
     }
   | H_flush
   | H_stats of string
@@ -23,7 +24,7 @@ let valid_id id =
          | _ -> false)
        id
 
-let parse_opt (algo, passes, deadline) word =
+let parse_opt (algo, passes, deadline, body_len) word =
   match String.index_opt word '=' with
   | None -> Error (Printf.sprintf "malformed option %S (expected k=v)" word)
   | Some i -> (
@@ -32,17 +33,22 @@ let parse_opt (algo, passes, deadline) word =
     match k with
     | "algo" -> (
       match Service.algo_of_name v with
-      | Some a -> Ok (a, passes, deadline)
+      | Some a -> Ok (a, passes, deadline, body_len)
       | None -> Error (Printf.sprintf "unknown allocator %S" v))
     | "passes" -> (
       match Lsra.Passes.parse v with
-      | Ok ps -> Ok (algo, ps, deadline)
+      | Ok ps -> Ok (algo, ps, deadline, body_len)
       | Error m -> Error m)
     | "deadline-ms" -> (
       match float_of_string_opt v with
-      | Some ms when ms >= 0. -> Ok (algo, passes, Some (ms /. 1e3))
+      | Some ms when ms >= 0. -> Ok (algo, passes, Some (ms /. 1e3), body_len)
       | Some _ | None ->
         Error (Printf.sprintf "malformed deadline-ms %S" v))
+    | "len" -> (
+      match int_of_string_opt v with
+      | Some n when n >= 0 -> Ok (algo, passes, deadline, Some n)
+      | Some _ | None ->
+        Error (Printf.sprintf "malformed len %S (expected bytes >= 0)" v))
     | _ -> Error (Printf.sprintf "unknown option %S" k))
 
 let parse_header line =
@@ -52,15 +58,16 @@ let parse_header line =
   | [ "STATS"; id ] when valid_id id -> Ok (H_stats id)
   | "REQ" :: id :: opts when valid_id id ->
     let init =
-      (Lsra.Allocator.default_second_chance, Lsra.Passes.default, None)
+      (Lsra.Allocator.default_second_chance, Lsra.Passes.default, None, None)
     in
     let folded =
       List.fold_left
-        (fun acc w -> Result.bind acc (fun triple -> parse_opt triple w))
+        (fun acc w -> Result.bind acc (fun quad -> parse_opt quad w))
         (Ok init) opts
     in
     Result.map
-      (fun (algo, passes, deadline) -> H_req { id; algo; passes; deadline })
+      (fun (algo, passes, deadline, body_len) ->
+        H_req { id; algo; passes; deadline; body_len })
       folded
   | "REQ" :: _ -> Error "REQ needs an id ([A-Za-z0-9._:-]+)"
   | "STATS" :: _ -> Error "STATS needs an id ([A-Za-z0-9._:-]+)"
@@ -84,11 +91,30 @@ let render_err ~id ~code msg =
 let render_stats ~id (c : Service.service_counters) =
   Printf.sprintf
     "STATS %s requests=%d hits=%d misses=%d evictions=%d entries=%d \
-     bytes=%d downgrades=%d spot-checks=%d"
+     bytes=%d downgrades=%d spot-checks=%d shards=%d warm-loaded=%d"
     id c.Service.requests c.Service.cache.Cache.hits
     c.Service.cache.Cache.misses c.Service.cache.Cache.evictions
     c.Service.cache.Cache.entries c.Service.cache.Cache.bytes
-    c.Service.downgrades c.Service.spot_checks
+    c.Service.downgrades c.Service.spot_checks c.Service.shards
+    c.Service.warm_loaded
+
+(* A payload always ends with exactly one newline on the wire, so the
+   advertised [len=] covers it and the next header starts on a fresh
+   line even for bodies that forgot their final newline. *)
+let frame_body body =
+  if body = "" || body.[String.length body - 1] <> '\n' then body ^ "\n"
+  else body
+
+(* [render_frame line payload] is the full wire rendering of one frame:
+   the header line — with [len=<bytes>] appended when there is a
+   payload — followed by the payload bytes. Shared by the blocking
+   server loop and the multiplexer so both emit identical frames. *)
+let render_frame line payload =
+  match payload with
+  | None -> line ^ "\n"
+  | Some body ->
+    let body = frame_body body in
+    Printf.sprintf "%s len=%d\n%s" line (String.length body) body
 
 let err_code_of_exn = function
   | Service.Spot_check_failed _ -> 4
@@ -106,3 +132,66 @@ let err_message_of_exn = function
   | Lsra_ir.Cfg.Malformed msg -> "malformed program: " ^ msg
   | Lsra.Precheck.Rejected msg -> "input rejected: " ^ msg
   | e -> Printexc.to_string e
+
+(* ------------------------------------------------------------------ *)
+(* Client-side reply parsing (bench clients, tests).                   *)
+
+type reply =
+  | R_ok of {
+      id : string;
+      hit : bool;
+      downgraded_to : string option;
+      wall_us : int;
+      body_len : int option;
+    }
+  | R_err of { id : string; code : int; msg : string }
+  | R_stats of { id : string; fields : (string * string) list }
+
+let kv_of w =
+  match String.index_opt w '=' with
+  | None -> None
+  | Some i ->
+    Some (String.sub w 0 i, String.sub w (i + 1) (String.length w - i - 1))
+
+let parse_reply line =
+  match split_words line with
+  | "OK" :: id :: opts ->
+    let hit = ref false
+    and downgraded_to = ref None
+    and wall_us = ref 0
+    and body_len = ref None
+    and bad = ref None in
+    List.iter
+      (fun w ->
+        match kv_of w with
+        | Some ("cache", "hit") -> hit := true
+        | Some ("cache", "cold") -> hit := false
+        | Some ("downgraded-to", a) -> downgraded_to := Some a
+        | Some ("wall-us", v) ->
+          wall_us := Option.value ~default:0 (int_of_string_opt v)
+        | Some ("len", v) -> (
+          match int_of_string_opt v with
+          | Some n when n >= 0 -> body_len := Some n
+          | Some _ | None -> bad := Some (Printf.sprintf "malformed len %S" v))
+        | Some _ | None -> bad := Some (Printf.sprintf "malformed OK field %S" w))
+      opts;
+    (match !bad with
+    | Some m -> Error m
+    | None ->
+      Ok
+        (R_ok
+           {
+             id;
+             hit = !hit;
+             downgraded_to = !downgraded_to;
+             wall_us = !wall_us;
+             body_len = !body_len;
+           }))
+  | "ERR" :: id :: code :: msg -> (
+    match int_of_string_opt code with
+    | Some code -> Ok (R_err { id; code; msg = String.concat " " msg })
+    | None -> Error (Printf.sprintf "malformed ERR code %S" code))
+  | "STATS" :: id :: kvs ->
+    Ok (R_stats { id; fields = List.filter_map kv_of kvs })
+  | w :: _ -> Error (Printf.sprintf "unknown reply frame %S" w)
+  | [] -> Error "empty reply line"

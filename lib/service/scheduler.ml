@@ -27,7 +27,25 @@ let flush t =
         | resp -> Ok resp
         | exception e -> Error e)
   in
-  Array.to_list results
+  (* Pairing is an invariant, not a convention: every response is
+     returned alongside the request it answers, and a miscount or an id
+     mismatch is a hard internal error — never a mislabeled frame. *)
+  if Array.length results <> Array.length batch then
+    failwith
+      (Printf.sprintf
+         "Scheduler.flush: internal error: %d results for %d requests"
+         (Array.length results) (Array.length batch));
+  List.init (Array.length batch) (fun i ->
+      let req = batch.(i) in
+      (match results.(i) with
+      | Ok resp when not (String.equal resp.Service.resp_id req.Service.req_id)
+        ->
+        failwith
+          (Printf.sprintf
+             "Scheduler.flush: internal error: response %S answers request %S"
+             resp.Service.resp_id req.Service.req_id)
+      | Ok _ | Error _ -> ());
+      (req, results.(i)))
 
 let submit t req =
   t.queue <- req :: t.queue;

@@ -10,6 +10,11 @@
     sequentially: parallelism changes only which domain runs which
     request, never any request's output.
 
+    Every result is returned {e paired with the request it answers}:
+    the request's id is carried through the batch, and a miscount or an
+    id mismatch between a request and its response raises [Failure] (a
+    hard internal error) instead of ever mislabeling a frame.
+
     A request whose handling raises (bad input, verifier reject,
     spot-check divergence) yields an [Error] carrying the exception in
     that request's slot; the rest of the batch is unaffected. *)
@@ -26,12 +31,19 @@ val pending : t -> int
 
 (** Enqueue one request. When the queue reaches capacity the whole batch
     is processed and returned (in submission order); otherwise []. *)
-val submit : t -> Service.request -> (Service.response, exn) result list
+val submit :
+  t ->
+  Service.request ->
+  (Service.request * (Service.response, exn) result) list
 
-(** Process everything pending; responses in submission order. *)
-val flush : t -> (Service.response, exn) result list
+(** Process everything pending; (request, response) pairs in submission
+    order. Raises [Failure] on a request/response pairing violation —
+    an internal invariant, not an input error. *)
+val flush : t -> (Service.request * (Service.response, exn) result) list
 
-(** [run_batch t reqs] = submit all, flush, return all responses in
-    submission order (any earlier auto-drained responses included). *)
+(** [run_batch t reqs] = submit all, flush, return all pairs in
+    submission order (any earlier auto-drained pairs included). *)
 val run_batch :
-  t -> Service.request list -> (Service.response, exn) result list
+  t ->
+  Service.request list ->
+  (Service.request * (Service.response, exn) result) list

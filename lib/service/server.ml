@@ -1,42 +1,40 @@
 let write_frame oc line payload =
-  output_string oc line;
-  output_char oc '\n';
-  (match payload with
-  | None -> ()
-  | Some body ->
-    output_string oc body;
-    if body = "" || body.[String.length body - 1] <> '\n' then
-      output_char oc '\n';
-    output_string oc "END\n");
+  output_string oc (Protocol.render_frame line payload);
   flush oc
 
-let read_body ic =
-  let buf = Buffer.create 1024 in
-  let rec go () =
-    match In_channel.input_line ic with
-    | None -> Error "end of input inside a REQ frame (missing END)"
-    | Some "END" -> Ok (Buffer.contents buf)
-    | Some line ->
-      Buffer.add_string buf line;
-      Buffer.add_char buf '\n';
-      go ()
-  in
-  go ()
+(* [len]-prefixed bodies read exactly that many bytes, so the body may
+   contain any line at all — including a literal [END]. The END-loop is
+   kept only as the legacy fallback for headers without [len=]. *)
+let read_body ?len ic =
+  match len with
+  | Some n -> (
+    match really_input_string ic n with
+    | body -> Ok body
+    | exception End_of_file ->
+      Error "end of input inside a REQ frame (len= body truncated)")
+  | None ->
+    let buf = Buffer.create 1024 in
+    let rec go () =
+      match In_channel.input_line ic with
+      | None -> Error "end of input inside a REQ frame (missing END)"
+      | Some "END" -> Ok (Buffer.contents buf)
+      | Some line ->
+        Buffer.add_string buf line;
+        Buffer.add_char buf '\n';
+        go ()
+    in
+    go ()
 
-(* [saw_quit] lets the socket accept-loop distinguish "client hung up"
-   (keep accepting) from an explicit QUIT (shut the server down). *)
+(* [saw_quit] lets callers distinguish "client hung up" from an explicit
+   QUIT (shut the whole server down). *)
 let serve_loop sched ic oc ~saw_quit =
   let severity = ref 0 in
-  (* Requests of the in-flight batch, submission order, for tagging each
-     response/error frame with its request id. *)
-  let batch_reqs = Queue.create () in
-  let emit results =
+  (* The scheduler returns every response paired with the request it
+     answers (a mismatch raises — see {!Scheduler}), so frames are
+     tagged from the pair, never from a parallel count. *)
+  let emit pairs =
     List.iter
-      (fun result ->
-        let req_id =
-          if Queue.is_empty batch_reqs then "-"
-          else (Queue.pop batch_reqs).Service.req_id
-        in
+      (fun ((req : Service.request), result) ->
         match result with
         | Ok resp ->
           write_frame oc (Protocol.render_ok resp)
@@ -48,10 +46,10 @@ let serve_loop sched ic oc ~saw_quit =
              own result. *)
           severity := max !severity (if code = 1 then 0 else code);
           write_frame oc
-            (Protocol.render_err ~id:req_id ~code
+            (Protocol.render_err ~id:req.Service.req_id ~code
                (Protocol.err_message_of_exn e))
             None)
-      results
+      pairs
   in
   let flush_all () = emit (Scheduler.flush sched) in
   let rec loop () =
@@ -76,14 +74,13 @@ let serve_loop sched ic oc ~saw_quit =
              (Service.counters (Scheduler.service sched)))
           None;
         loop ()
-      | Ok (Protocol.H_req { id; algo; passes; deadline }) -> (
-        match read_body ic with
+      | Ok (Protocol.H_req { id; algo; passes; deadline; body_len }) -> (
+        match read_body ?len:body_len ic with
         | Error msg ->
           write_frame oc (Protocol.render_err ~id ~code:1 msg) None;
           flush_all ()
         | Ok source ->
           let req = Service.request ~algo ~passes ?deadline ~id source in
-          Queue.push req batch_reqs;
           emit (Scheduler.submit sched req);
           loop ()))
   in
@@ -95,27 +92,14 @@ let serve_channels sched ic oc =
 
 let serve_stdio sched = serve_channels sched stdin stdout
 
-let serve_socket sched path =
+let serve_socket ?max_clients sched path =
   (try Unix.unlink path with Unix.Unix_error _ -> ());
   let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-  Unix.bind sock (Unix.ADDR_UNIX path);
-  Unix.listen sock 8;
-  let severity = ref 0 in
-  let quit = ref false in
-  while not !quit do
-    let client, _ = Unix.accept sock in
-    let ic = Unix.in_channel_of_descr client in
-    let oc = Unix.out_channel_of_descr client in
-    (* One connection at a time: batching happens inside a connection,
-       across the scheduler's domain pool. *)
-    let saw_quit = ref false in
-    (match serve_loop sched ic oc ~saw_quit with
-    | sev -> severity := max !severity sev
-    | exception Sys_error _ -> ()  (* client vanished mid-frame *));
-    (try flush oc with Sys_error _ -> ());
-    (try Unix.close client with Unix.Unix_error _ -> ());
-    if !saw_quit then quit := true
-  done;
-  (try Unix.close sock with Unix.Unix_error _ -> ());
-  (try Unix.unlink path with Unix.Unix_error _ -> ());
-  !severity
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close sock with Unix.Unix_error _ -> ());
+      try Unix.unlink path with Unix.Unix_error _ -> ())
+    (fun () ->
+      Unix.bind sock (Unix.ADDR_UNIX path);
+      Unix.listen sock 64;
+      Mux.run ?max_clients sched sock)

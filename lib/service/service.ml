@@ -9,6 +9,9 @@ type config = {
   spot_check : int;
   default_rate : float;
   trace : Lsra.Trace.t option;
+  shards : int;
+  store_dir : string option;
+  store_bytes : int;
 }
 
 let default_config machine =
@@ -20,6 +23,9 @@ let default_config machine =
     spot_check = 0;
     default_rate = 2e-7;
     trace = None;
+    shards = 1;
+    store_dir = None;
+    store_bytes = 16 * 1024 * 1024;
   }
 
 type request = {
@@ -48,7 +54,11 @@ exception Spot_check_failed of { req_id : string; key : string }
 
 type t = {
   cfg : config;
-  cache : Cache.t;
+  (* One LRU per shard, indexed by the same restart-stable key hash
+     that shards the persistent store; budgets are split evenly. *)
+  caches : Cache.t array;
+  store : Store.t option;
+  warm_loaded : int;
   (* EWMA seconds-per-instruction, keyed by allocator short name (the
      options of a binpack variant barely move its asymptotics). *)
   rates : (string, float) Hashtbl.t;
@@ -60,11 +70,40 @@ type t = {
 }
 
 let create cfg =
+  let shards = max 1 cfg.shards in
+  let caches =
+    Array.init shards (fun _ ->
+        Cache.create
+          ~max_bytes:(cfg.cache_bytes / shards)
+          ~max_entries:(cfg.cache_entries / shards)
+          ())
+  in
+  let store =
+    Option.map
+      (fun dir ->
+        Store.open_ ~dir ~shards ~max_bytes:cfg.store_bytes ())
+      cfg.store_dir
+  in
+  (* Warm-load: replay the journal, oldest record first, so both cache
+     contents and LRU recency survive the restart. *)
+  let warm_loaded =
+    match store with
+    | None -> 0
+    | Some st ->
+      List.fold_left
+        (fun n (key, algo, output) ->
+          Cache.add
+            caches.(Store.shard_of_key ~shards key)
+            key
+            { Cache.output; stats = Lsra.Stats.create (); algo };
+          n + 1)
+        0 (Store.load st)
+  in
   {
-    cfg;
-    cache =
-      Cache.create ~max_bytes:cfg.cache_bytes ~max_entries:cfg.cache_entries
-        ();
+    cfg = { cfg with shards };
+    caches;
+    store;
+    warm_loaded;
     rates = Hashtbl.create 8;
     requests = 0;
     downgrades = 0;
@@ -74,6 +113,20 @@ let create cfg =
   }
 
 let config t = t.cfg
+let store t = t.store
+
+let shard_of t key =
+  t.caches.(Store.shard_of_key ~shards:(Array.length t.caches) key)
+
+let cache_find t key = Cache.find (shard_of t key) key
+
+(* Insert into the owning shard's LRU, then journal (write-behind): the
+   response is never gated on the disk write having any effect. *)
+let cache_fill t key (e : Cache.entry) =
+  Cache.add (shard_of t key) key e;
+  match t.store with
+  | None -> ()
+  | Some st -> Store.append st ~key ~algo:e.Cache.algo ~output:e.Cache.output
 
 let locked t f =
   Mutex.lock t.lock;
@@ -90,15 +143,33 @@ type service_counters = {
   requests : int;
   downgrades : int;
   spot_checks : int;
+  shards : int;
+  warm_loaded : int;
 }
 
 let counters t =
+  let cache =
+    Array.fold_left
+      (fun (acc : Cache.counters) c ->
+        let k = Cache.counters c in
+        {
+          Cache.hits = acc.Cache.hits + k.Cache.hits;
+          misses = acc.Cache.misses + k.Cache.misses;
+          evictions = acc.Cache.evictions + k.Cache.evictions;
+          entries = acc.Cache.entries + k.Cache.entries;
+          bytes = acc.Cache.bytes + k.Cache.bytes;
+        })
+      { Cache.hits = 0; misses = 0; evictions = 0; entries = 0; bytes = 0 }
+      t.caches
+  in
   locked t (fun () ->
       {
-        cache = Cache.counters t.cache;
+        cache;
         requests = t.requests;
         downgrades = t.downgrades;
         spot_checks = t.spot_checks;
+        shards = Array.length t.caches;
+        warm_loaded = t.warm_loaded;
       })
 
 let algo_of_name = function
@@ -191,7 +262,9 @@ let compile t ~passes algo prog =
   (stats, dt)
 
 (* Re-allocate a hit from scratch and require the cached payload
-   byte-for-byte: the service-level differential oracle. *)
+   byte-for-byte: the service-level differential oracle. It also vets
+   entries warm-loaded from the journal — a corrupt record that parsed
+   cleanly still cannot serve wrong bytes unnoticed. *)
 let spot_check t ~req_id ~key ~canonical ~passes algo (entry : Cache.entry) =
   locked t (fun () -> t.spot_checks <- t.spot_checks + 1);
   let prog = Lsra_text.Ir_text.of_string canonical in
@@ -231,7 +304,7 @@ let handle t (req : request) =
     respond ~key ~cached:true ~downgraded_to ~output:entry.Cache.output ~stats
   in
   let requested_key = key_of req.algo in
-  match Cache.find t.cache requested_key with
+  match cache_find t requested_key with
   | Some entry ->
     (* A warm hit costs no allocation at all, so the deadline is never at
        risk: serve the requested quality. *)
@@ -253,13 +326,13 @@ let handle t (req : request) =
     if downgraded then
       (* The cheaper allocation may itself already be cached. *)
       let key = key_of effective in
-      match Cache.find t.cache key with
+      match cache_find t key with
       | Some entry -> serve_hit ~key ~downgraded_to effective entry
       | None ->
         let stats, dt = compile t ~passes effective prog in
         observe t effective n_instrs dt;
         let output = Lsra_text.Ir_text.to_string prog in
-        Cache.add t.cache key
+        cache_fill t key
           {
             Cache.output;
             stats;
@@ -271,7 +344,7 @@ let handle t (req : request) =
       let stats, dt = compile t ~passes effective prog in
       observe t effective n_instrs dt;
       let output = Lsra_text.Ir_text.to_string prog in
-      Cache.add t.cache requested_key
+      cache_fill t requested_key
         {
           Cache.output;
           stats;

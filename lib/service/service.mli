@@ -13,12 +13,20 @@
     (second-chance binpacking → two-pass binpacking → Poletto), exactly
     the quality-for-speed trade the paper's Table 3 quantifies.
 
+    Scale-out: the in-memory cache is sharded [shards]-way by a
+    restart-stable key hash — the {e same} hash that shards the
+    persistent {!Store} — and, when [store_dir] is set, every completed
+    allocation is journaled write-behind so a fresh process warm-loads
+    the cache (contents {e and} LRU recency) from disk at startup.
+
     Correctness: cold fills run under the abstract verifier
     ([verify_cold], on by default), and a configurable fraction of cache
     hits is {e spot-checked} — the source is re-allocated from scratch
     and the result must be byte-identical to the cached payload
     ({!Spot_check_failed} otherwise, the service's analogue of a
-    differential-execution divergence). *)
+    differential-execution divergence). Spot checks apply equally to
+    warm-loaded entries, so journal corruption that parses cleanly still
+    cannot serve wrong bytes unnoticed. *)
 
 open Lsra_target
 
@@ -36,6 +44,15 @@ type config = {
   trace : Lsra.Trace.t option;
       (** sink for {!Lsra.Trace.Downgrade} events (emission is
           mutex-guarded; allocation itself is not traced) *)
+  shards : int;
+      (** N-way sharding of the in-memory cache and the persistent
+          store by key hash (default 1); cache budgets split evenly *)
+  store_dir : string option;
+      (** persistent journal directory; [None] (default) = in-memory
+          only *)
+  store_bytes : int;
+      (** per-shard journal byte budget before compaction (default
+          16 MiB) *)
 }
 
 val default_config : Machine.t -> config
@@ -75,21 +92,32 @@ exception Spot_check_failed of { req_id : string; key : string }
 
 type t
 
+(** Create the service; when [config.store_dir] is set the persistent
+    store is opened (created if missing) and the cache warm-loaded from
+    its journal. Raises [Invalid_argument] if the store directory was
+    created with a different shard count. *)
 val create : config -> t
+
 val config : t -> config
 
-(** Serve one request. Thread-/domain-safe: cache, cost model and trace
-    emission are mutex-guarded, so {!Scheduler} may call this from many
-    domains. Raises what parsing, {!Lsra.Verify} or {!Lsra.Precheck}
-    raise on bad or mis-allocated input, and {!Spot_check_failed} on a
-    spot-check divergence. *)
+(** The persistent store, when the service was configured with one. *)
+val store : t -> Store.t option
+
+(** Serve one request. Thread-/domain-safe: cache shards, cost model,
+    store and trace emission are mutex-guarded, so {!Scheduler} may call
+    this from many domains. Raises what parsing, {!Lsra.Verify} or
+    {!Lsra.Precheck} raise on bad or mis-allocated input, and
+    {!Spot_check_failed} on a spot-check divergence. *)
 val handle : t -> request -> response
 
 type service_counters = {
-  cache : Cache.counters;
+  cache : Cache.counters;  (** summed across shards *)
   requests : int;
   downgrades : int;
   spot_checks : int;
+  shards : int;
+  warm_loaded : int;
+      (** journal records replayed into the cache at startup *)
 }
 
 val counters : t -> service_counters

@@ -1,0 +1,468 @@
+(* Serving-path tests: wire framing edge cases over serve_channels, the
+   persistent store's journal (round-trip, torn tail, compaction),
+   restart warm-loading, and the socket multiplexer with concurrent
+   clients. *)
+
+open Lsra_target
+module Service = Lsra_service.Service
+module Scheduler = Lsra_service.Scheduler
+module Server = Lsra_service.Server
+module Protocol = Lsra_service.Protocol
+module Store = Lsra_service.Store
+
+let machine = Machine.small ~int_regs:4 ~float_regs:4 ()
+
+let gen_program ?(seed = 11) () =
+  let params =
+    {
+      Lsra_workloads.Gen.default_params with
+      Lsra_workloads.Gen.seed;
+      n_temps = 8;
+      n_stmts = 14;
+      n_funcs = 1;
+    }
+  in
+  Lsra_workloads.Gen.program ~params machine
+
+let source ?seed () = Lsra_text.Ir_text.to_string (gen_program ?seed ())
+
+(* The payload a request for [src] must serve: the direct pipeline. *)
+let direct_output src =
+  let prog = Lsra_text.Ir_text.of_string src in
+  ignore
+    (Lsra.Allocator.pipeline ~passes:Lsra.Passes.default
+       Lsra.Allocator.default_second_chance machine prog);
+  Lsra_text.Ir_text.to_string prog
+
+let temp_dir prefix =
+  let path = Filename.temp_file prefix "" in
+  Sys.remove path;
+  Unix.mkdir path 0o700;
+  path
+
+let rec rm_rf path =
+  match Unix.lstat path with
+  | { Unix.st_kind = Unix.S_DIR; _ } ->
+    Array.iter (fun e -> rm_rf (Filename.concat path e)) (Sys.readdir path);
+    Unix.rmdir path
+  | _ -> Unix.unlink path
+  | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ()
+
+(* Run one blocking serving session over the given input bytes; returns
+   (severity, raw output bytes). *)
+let serve_io ?(spot_check = 0) ?store_dir ?(shards = 1) input =
+  let svc =
+    Service.create
+      {
+        (Service.default_config machine) with
+        Service.spot_check;
+        store_dir;
+        shards;
+      }
+  in
+  let sched = Scheduler.create svc in
+  let in_path = Filename.temp_file "lsra-serve" ".in" in
+  let out_path = Filename.temp_file "lsra-serve" ".out" in
+  Out_channel.with_open_bin in_path (fun oc ->
+      Out_channel.output_string oc input);
+  let ic = In_channel.open_bin in_path in
+  let oc = Out_channel.open_bin out_path in
+  let sev = Server.serve_channels sched ic oc in
+  In_channel.close ic;
+  Out_channel.close oc;
+  let out = In_channel.with_open_bin out_path In_channel.input_all in
+  Sys.remove in_path;
+  Sys.remove out_path;
+  (sev, out)
+
+(* Split a raw response stream into (reply, body) frames, consuming
+   exactly len= bytes of payload after each OK header. *)
+let parse_replies s =
+  let n = String.length s in
+  let rec go pos acc =
+    if pos >= n then List.rev acc
+    else
+      match String.index_from_opt s pos '\n' with
+      | None -> Alcotest.failf "unterminated reply line %S" (String.sub s pos (n - pos))
+      | Some eol -> (
+        let line = String.sub s pos (eol - pos) in
+        if line = "" then go (eol + 1) acc
+        else
+          match Protocol.parse_reply line with
+          | Error m -> Alcotest.failf "bad reply line %S: %s" line m
+          | Ok (Protocol.R_ok { body_len = Some len; _ } as r) ->
+            if eol + 1 + len > n then
+              Alcotest.failf "reply %S promises %d bytes, stream has %d"
+                line len (n - eol - 1);
+            let body = String.sub s (eol + 1) len in
+            go (eol + 1 + len) ((r, Some body) :: acc)
+          | Ok (Protocol.R_ok { body_len = None; _ }) ->
+            Alcotest.failf "OK reply without len=: %S" line
+          | Ok r -> go (eol + 1) ((r, None) :: acc))
+  in
+  go 0 []
+
+let req ?legacy_end id body =
+  match legacy_end with
+  | Some () -> Printf.sprintf "REQ %s\n%sEND\n" id body
+  | None -> Protocol.render_frame ("REQ " ^ id) (Some body)
+
+let ids replies =
+  List.map
+    (fun (r, _) ->
+      match r with
+      | Protocol.R_ok { id; _ } -> "OK:" ^ id
+      | Protocol.R_err { id; _ } -> "ERR:" ^ id
+      | Protocol.R_stats { id; _ } -> "STATS:" ^ id)
+    replies
+
+(* ------------------------------------------------------------------ *)
+(* Framing edge cases.                                                 *)
+
+(* A len=-framed body may contain a literal END line. The old framing
+   silently truncated the body there and desynchronised the stream;
+   now the full body reaches the parser (one clean ERR for this
+   invalid program) and the next request is served normally. *)
+let test_len_body_contains_end () =
+  let src = source () in
+  let evil = "this is not ir\nEND\nmore garbage\n" in
+  let input = req "evil" evil ^ req "good" src ^ "QUIT\n" in
+  let sev, out = serve_io input in
+  Alcotest.(check int) "bad input is severity 0" 0 sev;
+  match parse_replies out with
+  | [ (Protocol.R_err { id = "evil"; code = 1; _ }, None);
+      (Protocol.R_ok { id = "good"; hit = false; _ }, Some body) ] ->
+    Alcotest.(check string) "stream stayed in sync" (direct_output src) body
+  | rs -> Alcotest.failf "unexpected replies: %s" (String.concat " " (ids rs))
+
+let test_len_zero_body () =
+  let src = source () in
+  let input = req "empty" "" ^ req "good" src ^ "QUIT\n" in
+  let _, out = serve_io input in
+  (* Whatever an empty program means to the frontend, it must consume
+     exactly one reply slot and leave the stream synchronised. *)
+  match parse_replies out with
+  | [ (Protocol.R_ok { id = "empty"; _ }, _); (Protocol.R_ok { id = "good"; _ }, Some body) ]
+  | [ (Protocol.R_err { id = "empty"; _ }, _); (Protocol.R_ok { id = "good"; _ }, Some body) ]
+    ->
+    Alcotest.(check string) "second request intact" (direct_output src) body
+  | rs -> Alcotest.failf "unexpected replies: %s" (String.concat " " (ids rs))
+
+let test_legacy_end_framing () =
+  let src = source () in
+  let input = req ~legacy_end:() "leg" src ^ "QUIT\n" in
+  let sev, out = serve_io input in
+  Alcotest.(check int) "clean" 0 sev;
+  match parse_replies out with
+  | [ (Protocol.R_ok { id = "leg"; hit = false; _ }, Some body) ] ->
+    Alcotest.(check string) "legacy END framing still served" (direct_output src)
+      body
+  | rs -> Alcotest.failf "unexpected replies: %s" (String.concat " " (ids rs))
+
+let test_legacy_missing_end () =
+  let input = "REQ trunc\nsome body line\n" (* EOF, no END *) in
+  let _, out = serve_io input in
+  match parse_replies out with
+  | [ (Protocol.R_err { id = "trunc"; code = 1; msg }, None) ] ->
+    Alcotest.(check bool) "mentions the missing terminator" true
+      (String.length msg > 0)
+  | rs -> Alcotest.failf "unexpected replies: %s" (String.concat " " (ids rs))
+
+let test_len_truncated_by_eof () =
+  let input = "REQ cut len=100\nonly a few bytes" in
+  let _, out = serve_io input in
+  match parse_replies out with
+  | [ (Protocol.R_err { id = "cut"; code = 1; _ }, None) ] -> ()
+  | rs -> Alcotest.failf "unexpected replies: %s" (String.concat " " (ids rs))
+
+let test_quit_mid_batch () =
+  let a = source ~seed:21 () and b = source ~seed:22 () in
+  (* No FLUSH anywhere: QUIT itself must flush the pending batch, in
+     submission order. *)
+  let input = req "a" a ^ req "b" b ^ "QUIT\n" in
+  let sev, out = serve_io input in
+  Alcotest.(check int) "clean" 0 sev;
+  match parse_replies out with
+  | [ (Protocol.R_ok { id = "a"; _ }, Some ba); (Protocol.R_ok { id = "b"; _ }, Some bb) ]
+    ->
+    Alcotest.(check string) "a served" (direct_output a) ba;
+    Alcotest.(check string) "b served" (direct_output b) bb
+  | rs -> Alcotest.failf "unexpected replies: %s" (String.concat " " (ids rs))
+
+let test_stats_mid_batch () =
+  let a = source ~seed:23 () and b = source ~seed:24 () in
+  let input = req "a" a ^ "STATS s\n" ^ req "b" b ^ "QUIT\n" in
+  let _, out = serve_io input in
+  match parse_replies out with
+  | [ (Protocol.R_ok { id = "a"; _ }, Some _);
+      (Protocol.R_stats { id = "s"; fields }, None);
+      (Protocol.R_ok { id = "b"; _ }, Some _) ] ->
+    (* STATS flushed the in-flight batch first, so it reports request a
+       as already served. *)
+    Alcotest.(check (option string)) "requests counted" (Some "1")
+      (List.assoc_opt "requests" fields);
+    Alcotest.(check bool) "shards reported" true
+      (List.mem_assoc "shards" fields);
+    Alcotest.(check bool) "warm-loaded reported" true
+      (List.mem_assoc "warm-loaded" fields)
+  | rs -> Alcotest.failf "unexpected replies: %s" (String.concat " " (ids rs))
+
+(* ------------------------------------------------------------------ *)
+(* The persistent store.                                               *)
+
+let test_store_round_trip () =
+  let dir = temp_dir "lsra-store" in
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  let st = Store.open_ ~dir ~shards:2 () in
+  Store.append st ~key:"k1" ~algo:"binpack" ~output:"out-one\n";
+  Store.append st ~key:"k2" ~algo:"poletto" ~output:"out-two\n";
+  Store.append st ~key:"k1" ~algo:"binpack" ~output:"out-one-v2\n";
+  Store.close st;
+  (* Reopening with a different shard count must refuse: the count is
+     part of the on-disk layout. *)
+  (match Store.open_ ~dir ~shards:3 () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "shard-count mismatch accepted");
+  let st2 = Store.open_ ~dir ~shards:2 () in
+  let loaded = Store.load st2 in
+  let live = Hashtbl.create 4 in
+  List.iter (fun (k, a, o) -> Hashtbl.replace live k (a, o)) loaded;
+  Alcotest.(check int) "two live keys" 2 (Hashtbl.length live);
+  Alcotest.(check (option (pair string string))) "k1 latest payload wins"
+    (Some ("binpack", "out-one-v2\n"))
+    (Hashtbl.find_opt live "k1");
+  Alcotest.(check (option (pair string string))) "k2 intact"
+    (Some ("poletto", "out-two\n"))
+    (Hashtbl.find_opt live "k2");
+  let c = Store.counters st2 in
+  Alcotest.(check int) "records replayed" 3 c.Store.loaded;
+  Alcotest.(check int) "no torn shard" 0 c.Store.torn;
+  Store.close st2
+
+let test_store_torn_tail () =
+  let dir = temp_dir "lsra-store" in
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  let st = Store.open_ ~dir () in
+  Store.append st ~key:"a" ~algo:"binpack" ~output:"payload-a\n";
+  Store.append st ~key:"b" ~algo:"binpack" ~output:"payload-b\n";
+  Store.append st ~key:"c" ~algo:"binpack" ~output:"payload-c\n";
+  Store.close st;
+  (* Crash-cut: chop bytes out of the last record's payload. *)
+  let journal = Filename.concat (Filename.concat dir "shard-00") "journal" in
+  let data = In_channel.with_open_bin journal In_channel.input_all in
+  Out_channel.with_open_bin journal (fun oc ->
+      Out_channel.output_string oc
+        (String.sub data 0 (String.length data - 5)));
+  let st2 = Store.open_ ~dir () in
+  let keys = List.map (fun (k, _, _) -> k) (Store.load st2) in
+  Alcotest.(check (list string)) "torn tail skipped, prefix kept"
+    [ "a"; "b" ] keys;
+  Alcotest.(check int) "torn shard counted" 1 (Store.counters st2).Store.torn;
+  Store.close st2;
+  (* The torn tail was healed on load: a third open is clean. *)
+  let st3 = Store.open_ ~dir () in
+  Alcotest.(check int) "healed" 0 (Store.counters st3).Store.torn;
+  Alcotest.(check int) "still two records" 2 (Store.counters st3).Store.loaded;
+  Store.close st3
+
+let test_store_compaction () =
+  let dir = temp_dir "lsra-store" in
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  (* max_bytes floors at 4096; ~420-byte records overflow it quickly. *)
+  let st = Store.open_ ~dir ~max_bytes:1 () in
+  let payload i = String.make 400 (Char.chr (Char.code 'a' + (i mod 26))) in
+  for i = 0 to 19 do
+    Store.append st
+      ~key:(Printf.sprintf "k%02d" i)
+      ~algo:"binpack" ~output:(payload i)
+  done;
+  let c = Store.counters st in
+  Alcotest.(check bool) "compaction ran" true (c.Store.compactions >= 1);
+  Alcotest.(check bool) "journal within budget" true (c.Store.bytes <= 4096);
+  let keys = List.map (fun (k, _, _) -> k) (Store.load st) in
+  Alcotest.(check bool) "newest key survives" true (List.mem "k19" keys);
+  Alcotest.(check bool) "oldest key dropped" true (not (List.mem "k00" keys));
+  Store.close st;
+  (* What survived compaction round-trips. *)
+  let st2 = Store.open_ ~dir () in
+  let keys2 = List.map (fun (k, _, _) -> k) (Store.load st2) in
+  Alcotest.(check (list string)) "compacted journal reloads" keys keys2;
+  Store.close st2
+
+let test_service_restart_warm () =
+  let dir = temp_dir "lsra-warm" in
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  let cfg =
+    {
+      (Service.default_config machine) with
+      Service.store_dir = Some (Filename.concat dir "store");
+      shards = 2;
+      spot_check = 1;  (* every hit re-allocated and byte-compared *)
+    }
+  in
+  let sources = List.map (fun s -> source ~seed:s ()) [ 31; 32; 33 ] in
+  let svc1 = Service.create cfg in
+  let outs1 =
+    List.mapi
+      (fun i s ->
+        (Service.handle svc1 (Service.request ~id:(Printf.sprintf "c%d" i) s))
+          .Service.output)
+      sources
+  in
+  (match Service.store svc1 with
+  | Some st -> Store.close st
+  | None -> Alcotest.fail "store not opened");
+  (* A fresh service on the same directory — the "restarted process" —
+     must answer every request from the journal-loaded cache, and the
+     spot-check (which re-allocates from scratch) vets the payloads. *)
+  let svc2 = Service.create cfg in
+  Alcotest.(check int) "journal records warm-loaded" 3
+    (Service.counters svc2).Service.warm_loaded;
+  List.iteri
+    (fun i (s, expected) ->
+      let r =
+        Service.handle svc2 (Service.request ~id:(Printf.sprintf "w%d" i) s)
+      in
+      Alcotest.(check bool) "served from warm cache" true r.Service.cached;
+      Alcotest.(check string) "payload survived the restart" expected
+        r.Service.output)
+    (List.combine sources outs1);
+  Alcotest.(check int) "all hits spot-checked" 3
+    (Service.counters svc2).Service.spot_checks
+
+(* ------------------------------------------------------------------ *)
+(* The socket multiplexer.                                             *)
+
+let connect path =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  let rec go n =
+    match Unix.connect fd (Unix.ADDR_UNIX path) with
+    | () -> ()
+    | exception Unix.Unix_error ((Unix.ENOENT | Unix.ECONNREFUSED), _, _)
+      when n < 250 ->
+      ignore (Unix.select [] [] [] 0.02);
+      go (n + 1)
+  in
+  go 0;
+  fd
+
+let read_reply ic =
+  let rec go () =
+    match In_channel.input_line ic with
+    | None -> Alcotest.fail "server closed the connection"
+    | Some "" -> go ()
+    | Some line -> (
+      match Protocol.parse_reply line with
+      | Error m -> Alcotest.failf "bad reply %S: %s" line m
+      | Ok (Protocol.R_ok { body_len = Some len; _ } as r) ->
+        (r, Some (really_input_string ic len))
+      | Ok (Protocol.R_ok { body_len = None; _ }) ->
+        Alcotest.failf "OK reply without len=: %S" line
+      | Ok r -> (r, None))
+  in
+  go ()
+
+let test_mux_concurrent_clients () =
+  let dir = temp_dir "lsra-mux" in
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  let svc = Service.create (Service.default_config machine) in
+  let sched = Scheduler.create ~jobs:2 svc in
+  let path = Filename.concat dir "serve.sock" in
+  let srv =
+    Domain.spawn (fun () -> Server.serve_socket ~max_clients:8 sched path)
+  in
+  let src = source ~seed:41 () in
+  let expected = direct_output src in
+  (* A client that dies mid-frame (header promised 1000 bytes, sent a
+     handful, hung up) must poison only its own connection. *)
+  let ragged = connect path in
+  let roc = Unix.out_channel_of_descr ragged in
+  output_string roc "REQ ragged len=1000\nonly a little";
+  flush roc;
+  Unix.close ragged;
+  (* Three well-behaved concurrent clients, two requests each: one
+     len=-framed, one legacy END-framed; all six answers must be
+     byte-identical and routed to the connection that asked. *)
+  let client i =
+    let fd = connect path in
+    let ic = Unix.in_channel_of_descr fd in
+    let oc = Unix.out_channel_of_descr fd in
+    let check_one id send =
+      send ();
+      flush oc;
+      match read_reply ic with
+      | Protocol.R_ok { id = rid; _ }, Some body ->
+        Alcotest.(check string) "routed to the requesting connection" id rid;
+        Alcotest.(check string) "payload bit-identical" expected body
+      | _ -> Alcotest.failf "request %s: unexpected reply" id
+    in
+    check_one
+      (Printf.sprintf "c%d.len" i)
+      (fun () ->
+        output_string oc
+          (Protocol.render_frame
+             (Printf.sprintf "REQ c%d.len" i)
+             (Some src)));
+    check_one
+      (Printf.sprintf "c%d.legacy" i)
+      (fun () ->
+        output_string oc (Printf.sprintf "REQ c%d.legacy\n%sEND\n" i src));
+    Unix.close fd
+  in
+  let doms = List.init 3 (fun i -> Domain.spawn (fun () -> client i)) in
+  List.iter Domain.join doms;
+  (* STATS over a fresh connection, then QUIT to shut the server down. *)
+  let fd = connect path in
+  let ic = Unix.in_channel_of_descr fd in
+  let oc = Unix.out_channel_of_descr fd in
+  output_string oc "STATS s\nQUIT\n";
+  flush oc;
+  (match read_reply ic with
+  | Protocol.R_stats { id = "s"; fields }, None ->
+    Alcotest.(check (option string)) "six requests served" (Some "6")
+      (List.assoc_opt "requests" fields);
+    (* Identical requests that land in the same first batch each miss
+       (they run concurrently), so only the second round is guaranteed
+       warm: 3 <= hits <= 5. *)
+    let hits =
+      match List.assoc_opt "hits" fields with
+      | Some v -> int_of_string v
+      | None -> Alcotest.fail "no hits field"
+    in
+    Alcotest.(check bool)
+      (Printf.sprintf "second round all warm (hits=%d)" hits)
+      true
+      (hits >= 3 && hits <= 5)
+  | _ -> Alcotest.fail "expected a STATS reply");
+  Unix.close fd;
+  let sev = Domain.join srv in
+  Alcotest.(check int) "server severity clean" 0 sev;
+  Alcotest.(check bool) "socket file removed" false (Sys.file_exists path)
+
+let suite =
+  [
+    Alcotest.test_case "framing: len= body may contain END" `Quick
+      test_len_body_contains_end;
+    Alcotest.test_case "framing: len=0 empty body stays in sync" `Quick
+      test_len_zero_body;
+    Alcotest.test_case "framing: legacy END body still served" `Quick
+      test_legacy_end_framing;
+    Alcotest.test_case "framing: missing END is one clean ERR" `Quick
+      test_legacy_missing_end;
+    Alcotest.test_case "framing: len= body cut by EOF is ERR" `Quick
+      test_len_truncated_by_eof;
+    Alcotest.test_case "frames: QUIT flushes the pending batch" `Quick
+      test_quit_mid_batch;
+    Alcotest.test_case "frames: STATS mid-batch flushes first" `Quick
+      test_stats_mid_batch;
+    Alcotest.test_case "store: journal round-trip, shard guard" `Quick
+      test_store_round_trip;
+    Alcotest.test_case "store: torn tail skipped and healed" `Quick
+      test_store_torn_tail;
+    Alcotest.test_case "store: compaction under byte budget" `Quick
+      test_store_compaction;
+    Alcotest.test_case "service: restart warm-loads from journal" `Quick
+      test_service_restart_warm;
+    Alcotest.test_case "mux: concurrent clients, ragged disconnect" `Quick
+      test_mux_concurrent_clients;
+  ]

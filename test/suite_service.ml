@@ -272,8 +272,12 @@ let test_batch_parallel_identical () =
   let run jobs tag =
     let sched = Scheduler.create ~jobs (make_service ()) in
     List.map
-      (function
-        | Ok r -> r
+      (fun ((req : Service.request), result) ->
+        match result with
+        | Ok (r : Service.response) ->
+          Alcotest.(check string) "paired with its own request"
+            req.Service.req_id r.Service.resp_id;
+          r
         | Error e ->
           Alcotest.failf "request failed: %s" (Printexc.to_string e))
       (Scheduler.run_batch sched (reqs tag))
@@ -300,8 +304,10 @@ let test_batch_isolates_errors () =
       ]
   in
   match results with
-  | [ Ok good; Error _ ] ->
-    Alcotest.(check string) "good slot served" "good" good.Service.resp_id
+  | [ (_, Ok good); (bad_req, Error _) ] ->
+    Alcotest.(check string) "good slot served" "good" good.Service.resp_id;
+    Alcotest.(check string) "error paired with the bad request" "bad"
+      bad_req.Service.req_id
   | _ -> Alcotest.fail "expected [Ok; Error] in submission order"
 
 let test_capacity_auto_drain () =
@@ -340,9 +346,40 @@ let test_protocol_headers () =
   (match Protocol.parse_header "REQ r2 algo=nonsense" with
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "unknown algorithm accepted");
+  (match Protocol.parse_header "REQ r3 len=17" with
+  | Ok (Protocol.H_req { id; body_len; _ }) ->
+    Alcotest.(check string) "len= id" "r3" id;
+    Alcotest.(check (option int)) "body length" (Some 17) body_len
+  | Ok _ -> Alcotest.fail "wrong header kind"
+  | Error e -> Alcotest.failf "len= parse failed: %s" e);
+  (match Protocol.parse_header "REQ r4 algo=poletto" with
+  | Ok (Protocol.H_req { body_len = None; _ }) -> ()
+  | Ok _ -> Alcotest.fail "no len= must mean legacy framing"
+  | Error e -> Alcotest.failf "parse failed: %s" e);
+  (match Protocol.parse_header "REQ r5 len=-3" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "negative len accepted");
   Alcotest.(check int) "spot-check divergence is exit-code 4" 4
     (Protocol.err_code_of_exn
        (Service.Spot_check_failed { req_id = "x"; key = "k" }))
+
+let test_render_frame () =
+  Alcotest.(check string) "no payload" "ERR x 1 m\n"
+    (Protocol.render_frame "ERR x 1 m" None);
+  Alcotest.(check string) "payload gains len= covering final newline"
+    "OK x len=3\nab\n"
+    (Protocol.render_frame "OK x" (Some "ab"));
+  Alcotest.(check string) "payload with newline untouched" "OK x len=3\nab\n"
+    (Protocol.render_frame "OK x" (Some "ab\n"));
+  match Protocol.parse_reply "OK r1 cache=hit downgraded-to=poletto wall-us=42 len=7" with
+  | Ok (Protocol.R_ok { id; hit; downgraded_to; wall_us; body_len }) ->
+    Alcotest.(check string) "reply id" "r1" id;
+    Alcotest.(check bool) "hit" true hit;
+    Alcotest.(check (option string)) "downgrade" (Some "poletto") downgraded_to;
+    Alcotest.(check int) "wall" 42 wall_us;
+    Alcotest.(check (option int)) "len" (Some 7) body_len
+  | Ok _ -> Alcotest.fail "wrong reply kind"
+  | Error e -> Alcotest.failf "reply parse failed: %s" e
 
 let suite =
   [
@@ -372,4 +409,6 @@ let suite =
     Alcotest.test_case "scheduler: capacity auto-drains" `Quick
       test_capacity_auto_drain;
     Alcotest.test_case "protocol: header parsing" `Quick test_protocol_headers;
+    Alcotest.test_case "protocol: frame rendering and reply parsing" `Quick
+      test_render_frame;
   ]

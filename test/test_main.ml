@@ -22,5 +22,6 @@ let () =
       ("text", Suite_text.suite);
       ("trace", Suite_trace.suite);
       ("service", Suite_service.suite);
+      ("server", Suite_server.suite);
       ("parallel", Suite_parallel.suite);
     ]
