@@ -461,6 +461,191 @@ let corpus () =
   hrule 66;
   print_newline ()
 
+(* ------------------------------------------------------------------ *)
+
+(* optgap: how far each heuristic lands from the exact branch-and-bound
+   optimum (Lsra.Optimal), in static spill instructions, over every
+   corpus function — on the alpha machine and on a register-starved
+   small machine where the gaps actually open up. Functions whose
+   search exhausts the node budget (`bench optgap [NODES]`, default
+   Optimal.default_options) or the instruction gate are counted and
+   skipped: a downgraded "optimum" would poison the statistics. Every
+   exact allocation is also pushed through the differential-execution
+   oracle, which verifies and trace-checks it. Writes
+   BENCH_optgap.json; exits 4 if any heuristic ever beats the optimum
+   (an optimality bug by construction) or the oracle diverges. *)
+let optgap () =
+  let node_budget =
+    if Array.length Sys.argv <= 2 then
+      Lsra.Optimal.default_options.Lsra.Optimal.node_budget
+    else
+      match int_of_string_opt Sys.argv.(2) with
+      | Some n when n > 0 -> n
+      | Some _ | None ->
+        Printf.eprintf
+          "bench optgap: malformed node budget %S (expected an integer > 0)\n"
+          Sys.argv.(2);
+        exit 2
+  in
+  let opts = { Lsra.Optimal.default_options with Lsra.Optimal.node_budget } in
+  let heuristics =
+    [
+      ("gc", coloring);
+      ("binpack", binpack);
+      ("twopass", Lsra.Allocator.Two_pass);
+      ("poletto", Lsra.Allocator.Poletto);
+    ]
+  in
+  let machines =
+    (* The same register-starved machine the differential fuzzer uses:
+       enough argument registers for the corpus conventions, few enough
+       total for real spill pressure (the alpha rarely spills at all). *)
+    [
+      ("alpha", machine);
+      ( "small-8",
+        Machine.small ~int_regs:8 ~float_regs:8 ~int_caller_saved:4
+          ~float_caller_saved:4 () );
+    ]
+  in
+  let corpus_of m =
+    List.map
+      (fun (case : Lsra_workloads.Specbench.case) ->
+        ( "spec:" ^ case.Lsra_workloads.Specbench.name,
+          case.Lsra_workloads.Specbench.program,
+          case.Lsra_workloads.Specbench.input ))
+      (Lsra_workloads.Specbench.all m ~scale)
+    @ List.filter_map
+        (fun { Lsra_workloads.Mini_corpus.mname; source; minput } ->
+          (* A small machine may not support a program's calling
+             convention; skip those entries there. *)
+          match Lsra_frontend.Minilang.compile m source with
+          | prog -> Some ("mini:" ^ mname, prog, minput)
+          | exception Lsra_frontend.Lower.Error _ -> None)
+        Lsra_workloads.Mini_corpus.all
+  in
+  let buf = Buffer.create 4096 in
+  Printf.bprintf buf
+    "{\n  \"bench\": \"optgap\",\n  \"scale\": %d,\n  \"node_budget\": %d,\n\
+    \  \"machines\": [" scale node_budget;
+  let violations = ref 0 and divergences = ref 0 in
+  List.iteri
+    (fun mi (mname, m) ->
+      if mi > 0 then Buffer.add_string buf ",";
+      Printf.printf "optgap on %s (node budget %d):\n" mname node_budget;
+      let cases = corpus_of m in
+      (* gaps.(h) collects (heuristic spill - exact spill) per measured
+         function, one slot per heuristic, measurement order. *)
+      let gaps = Array.make (List.length heuristics) [] in
+      let measured = ref 0 and skipped = ref 0 in
+      List.iter
+        (fun (_pname, prog, input) ->
+          List.iter
+            (fun (_fname, f) ->
+              match
+                Lsra.Optimal.run_exact ~opts m (Lsra_ir.Func.copy f)
+              with
+              | exception Lsra.Optimal.Budget_exceeded _ -> incr skipped
+              | exact_stats ->
+                let exact = Lsra.Stats.total_spill exact_stats in
+                incr measured;
+                List.iteri
+                  (fun hi (hname, algo) ->
+                    let st =
+                      Lsra.Allocator.run algo m (Lsra_ir.Func.copy f)
+                    in
+                    let gap = Lsra.Stats.total_spill st - exact in
+                    if gap < 0 then begin
+                      incr violations;
+                      Printf.printf
+                        "  VIOLATION: %s beats optimal on %s/%s (%d < %d)\n"
+                        hname _pname _fname
+                        (Lsra.Stats.total_spill st)
+                        exact
+                    end;
+                    gaps.(hi) <- gap :: gaps.(hi))
+                  heuristics)
+            (Program.funcs prog);
+          (* The exact allocator's output must survive the strongest
+             oracle we have: differential execution with the abstract
+             verifier and trace replay-check inside. *)
+          match
+            Lsra_sim.Diffexec.check ~input m
+              (Lsra.Allocator.Optimal opts)
+              prog
+          with
+          | Ok () -> ()
+          | Error d ->
+            incr divergences;
+            Printf.printf "  DIVERGENCE on %s: %s\n" _pname
+              (Lsra_sim.Diffexec.divergence_to_string d))
+        cases;
+      Printf.printf
+        "  %d function(s) solved to optimality, %d skipped (over budget)\n"
+        !measured !skipped;
+      Printf.bprintf buf
+        "\n    { \"machine\": %S, \"functions\": %d, \"skipped_budget\": %d,\n\
+        \      \"allocators\": [" mname !measured !skipped;
+      Printf.printf "  %-10s %8s %8s %8s %8s %8s\n" "allocator" "mean"
+        "p95" "max" "ties" "beats";
+      List.iteri
+        (fun hi (hname, _) ->
+          let g = Array.of_list (List.rev gaps.(hi)) in
+          Array.sort compare g;
+          let n = Array.length g in
+          let mean =
+            if n = 0 then 0.0
+            else
+              float_of_int (Array.fold_left ( + ) 0 g) /. float_of_int n
+          in
+          let p95 = if n = 0 then 0 else g.(min (n - 1) (n * 95 / 100)) in
+          let maxg = if n = 0 then 0 else g.(n - 1) in
+          let ties = Array.fold_left (fun a x -> if x = 0 then a + 1 else a) 0 g in
+          let beats =
+            Array.fold_left (fun a x -> if x < 0 then a + 1 else a) 0 g
+          in
+          Printf.printf "  %-10s %8.3f %8d %8d %8d %8d\n" hname mean p95 maxg
+            ties beats;
+          (* Histogram over distinct gap values, ascending. *)
+          let hist = Hashtbl.create 16 in
+          Array.iter
+            (fun x ->
+              Hashtbl.replace hist x
+                (1 + Option.value ~default:0 (Hashtbl.find_opt hist x)))
+            g;
+          let entries =
+            Hashtbl.fold (fun k v acc -> (k, v) :: acc) hist []
+            |> List.sort compare
+          in
+          if hi > 0 then Buffer.add_string buf ",";
+          Printf.bprintf buf
+            "\n        { \"name\": %S, \"mean_gap\": %.4f, \"p95_gap\": %d, \
+             \"max_gap\": %d, \"optimal_ties\": %d, \"beats_optimal\": %d,\n\
+            \          \"histogram\": [" hname mean p95 maxg ties beats;
+          List.iteri
+            (fun k (gap, count) ->
+              if k > 0 then Buffer.add_string buf ", ";
+              Printf.bprintf buf "{ \"gap\": %d, \"count\": %d }" gap count)
+            entries;
+          Buffer.add_string buf "] }")
+        heuristics;
+      Buffer.add_string buf " ] }";
+      print_newline ())
+    machines;
+  Printf.bprintf buf
+    "\n  ],\n  \"violations\": %d,\n  \"diffexec_divergences\": %d\n}\n"
+    !violations !divergences;
+  let out = bench_out_path "BENCH_optgap.json" in
+  Out_channel.with_open_text out (fun oc ->
+      Out_channel.output_string oc (Buffer.contents buf));
+  Printf.printf "wrote %s\n" out;
+  if !violations > 0 || !divergences > 0 then begin
+    Printf.eprintf
+      "optgap: FAIL — %d heuristic-beats-optimal case(s), %d differential \
+       divergence(s)\n%!"
+      !violations !divergences;
+    exit 4
+  end
+
 let bechamel () =
   let open Bechamel in
   let open Toolkit in
@@ -1181,6 +1366,7 @@ let () =
   | "layout" -> layout ()
   | "frames" -> frames ()
   | "corpus" -> corpus ()
+  | "optgap" -> optgap ()
   | "bechamel" -> bechamel ()
   | "perfdump" -> perfdump ()
   | "service" -> service ()
@@ -1198,6 +1384,6 @@ let () =
   | other ->
     Printf.eprintf
       "unknown benchmark %S (expected \
-       table1|table2|figure3|table3|twopass|ablation|layout|frames|corpus|bechamel|perfdump|service|fuzz|all)\n"
+       table1|table2|figure3|table3|twopass|ablation|layout|frames|corpus|optgap|bechamel|perfdump|service|fuzz|all)\n"
       other;
     exit 2

@@ -41,6 +41,7 @@ let algo_conv =
     | "gc" | "coloring" -> Ok Lsra.Allocator.Graph_coloring
     | "twopass" -> Ok Lsra.Allocator.Two_pass
     | "poletto" -> Ok Lsra.Allocator.Poletto
+    | "optimal" | "exact" -> Ok Lsra.Allocator.default_optimal
     | _ -> Error (`Msg (Printf.sprintf "unknown allocator %S" s))
   in
   let print fmt a = Format.pp_print_string fmt (Lsra.Allocator.short_name a) in
@@ -64,7 +65,30 @@ let algo_arg =
     value
     & opt algo_conv Lsra.Allocator.default_second_chance
     & info [ "a"; "allocator" ] ~docv:"ALGO"
-        ~doc:"Allocator: binpack, gc, twopass or poletto.")
+        ~doc:"Allocator: binpack, gc, twopass, poletto or optimal.")
+
+let opt_budget_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "opt-budget" ] ~docv:"NODES"
+        ~doc:
+          "Branch-and-bound node budget for $(b,-a optimal); a function \
+           that exhausts it degrades to graph coloring (counted as a \
+           downgrade in the statistics). Ignored by every other \
+           allocator.")
+
+(* The allocator argument with --opt-budget folded in: the budget only
+   means something for the exact allocator, so it adjusts the algorithm
+   value rather than travelling separately. *)
+let algo_term =
+  Term.(
+    const (fun algo budget ->
+        match (algo, budget) with
+        | Lsra.Allocator.Optimal opts, Some node_budget ->
+          Lsra.Allocator.Optimal { opts with Lsra.Optimal.node_budget }
+        | algo, _ -> algo)
+    $ algo_arg $ opt_budget_arg)
 
 let verify_arg =
   Arg.(
@@ -154,7 +178,7 @@ let alloc_cmd =
   Cmd.v
     (Cmd.info "alloc" ~doc:"Register-allocate a program and print it.")
     Term.(
-      const run $ file_arg $ machine_arg $ algo_arg $ verify_arg $ jobs_arg
+      const run $ file_arg $ machine_arg $ algo_term $ verify_arg $ jobs_arg
       $ passes_arg ~default:Lsra.Passes.default
       $ no_cleanup_arg)
 
@@ -218,7 +242,7 @@ let stats_cmd =
     (Cmd.info "stats"
        ~doc:"Allocate, verify, and report static and dynamic statistics.")
     Term.(
-      const run $ file_arg $ machine_arg $ algo_arg $ input_arg $ jobs_arg
+      const run $ file_arg $ machine_arg $ algo_term $ input_arg $ jobs_arg
       $ passes_arg ~default:Lsra.Passes.default
       $ no_cleanup_arg)
 
@@ -306,7 +330,7 @@ let exec_cmd =
          "Compile a Minilang source file, register-allocate it (verified) \
           and run it.")
     Term.(
-      const run $ file_arg $ machine_arg $ algo_arg $ input_arg
+      const run $ file_arg $ machine_arg $ algo_term $ input_arg
       $ passes_arg ~default:Lsra.Passes.default
       $ no_cleanup_arg)
 
@@ -400,6 +424,20 @@ let diffcheck_cmd =
         in
         let checks = ref 0 and behavioral = ref 0 and rejects = ref 0 in
         let frame_saved = ref 0 in
+        (* The exact allocator joins the sweep under a tight node
+           budget: small functions are proven optimal, the rest take
+           the budget-downgrade path — both paths covered without the
+           full search on every corpus function (bench optgap does
+           that). *)
+        let allocators =
+          List.map
+            (function
+              | Lsra.Allocator.Optimal o ->
+                Lsra.Allocator.Optimal
+                  { o with Lsra.Optimal.node_budget = 2_000 }
+              | a -> a)
+            Lsra.Allocator.all
+        in
         List.iter
           (fun (m, programs) ->
             let mname = Machine.name m in
@@ -434,7 +472,7 @@ let diffcheck_cmd =
                       write_artifact ~pname ~mname
                         ~algo:(Lsra.Allocator.short_name algo)
                         text)
-                  Lsra.Allocator.all)
+                  allocators)
               programs;
             if !m_saved > 0 then
               Printf.printf "diffcheck: %s: %d frame words saved by slots\n"
@@ -525,7 +563,7 @@ let trace_cmd =
           rule that granted them, spill splits, second chances, eviction \
           deliberations and resolution edge repairs. The stream is \
           replay-checked against the allocator's statistics before exiting.")
-    Term.(const run $ file_arg $ fn_arg $ machine_arg $ algo_arg $ format_arg)
+    Term.(const run $ file_arg $ fn_arg $ machine_arg $ algo_term $ format_arg)
 
 let serve_cmd =
   let socket_arg =
@@ -597,6 +635,38 @@ let serve_cmd =
              compose behind a key-hashing router. A store directory must \
              always be reopened with the shard count it was created with.")
   in
+  let store_sync_arg =
+    let sync_conv =
+      let parse = function
+        | "never" -> Ok Lsra_service.Store.Never
+        | "batch" -> Ok Lsra_service.Store.Batch
+        | s ->
+          Error
+            (`Msg
+              (Printf.sprintf "unknown sync mode %S (expected never or batch)"
+                 s))
+      in
+      let print fmt m =
+        Format.pp_print_string fmt
+          (match m with
+          | Lsra_service.Store.Never -> "never"
+          | Lsra_service.Store.Batch -> "batch")
+      in
+      Arg.conv (parse, print)
+    in
+    Arg.(
+      value
+      & opt sync_conv Lsra_service.Store.Never
+      & info [ "store-sync" ] ~docv:"MODE"
+          ~doc:
+            "Journal durability for $(b,--store-dir). $(b,never) (the \
+             default) flushes appends to the OS but does not fsync: a \
+             process crash loses nothing, a power loss may lose the most \
+             recent appends. $(b,batch) fsyncs every shard's journal at \
+             each batch boundary, bounding power-loss exposure to the \
+             in-flight batch at the cost of one fsync per shard per \
+             batch.")
+  in
   let max_clients_arg =
     Arg.(
       value & opt int 64
@@ -607,7 +677,7 @@ let serve_cmd =
              backlog.")
   in
   let run machine jobs socket cache_bytes cache_entries queue spot_check
-      no_verify store_dir shards max_clients =
+      no_verify store_dir shards store_sync max_clients =
     handle_errors (fun () ->
         let cfg =
           {
@@ -618,6 +688,7 @@ let serve_cmd =
             cache_entries;
             store_dir;
             shards;
+            store_sync;
           }
         in
         let svc = Lsra_service.Service.create cfg in
@@ -651,7 +722,7 @@ let serve_cmd =
     Term.(
       const run $ machine_arg $ jobs_arg $ socket_arg $ cache_bytes_arg
       $ cache_entries_arg $ queue_arg $ spot_check_arg $ no_verify_arg
-      $ store_dir_arg $ shards_arg $ max_clients_arg)
+      $ store_dir_arg $ shards_arg $ store_sync_arg $ max_clients_arg)
 
 let () =
   let default = Term.(ret (const (`Help (`Pager, None)))) in

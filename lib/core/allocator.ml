@@ -5,26 +5,31 @@ type algorithm =
   | Two_pass
   | Poletto
   | Graph_coloring
+  | Optimal of Optimal.options
 
 let default_second_chance = Second_chance Binpack.default_options
+let default_optimal = Optimal Optimal.default_options
 
-(* All four allocators with their default options, in the order the
-   paper discusses them. Corpus-wide oracles (verification, differential
-   execution) iterate this list so a new allocator is checked everywhere
-   by adding it here. *)
-let all = [ default_second_chance; Two_pass; Poletto; Graph_coloring ]
+(* The four heuristic allocators in the order the paper discusses them,
+   plus the exact branch-and-bound oracle as the top rung. Corpus-wide
+   oracles (verification, differential execution) iterate this list so a
+   new allocator is checked everywhere by adding it here. *)
+let all =
+  [ default_second_chance; Two_pass; Poletto; Graph_coloring; default_optimal ]
 
 let name = function
   | Second_chance _ -> "second-chance binpacking"
   | Two_pass -> "two-pass binpacking"
   | Poletto -> "poletto linear scan"
   | Graph_coloring -> "graph coloring"
+  | Optimal _ -> "exact branch-and-bound"
 
 let short_name = function
   | Second_chance _ -> "binpack"
   | Two_pass -> "twopass"
   | Poletto -> "poletto"
   | Graph_coloring -> "gc"
+  | Optimal _ -> "optimal"
 
 let run ?trace algorithm machine func =
   match algorithm with
@@ -32,6 +37,7 @@ let run ?trace algorithm machine func =
   | Two_pass -> Two_pass.run ?trace machine func
   | Poletto -> Poletto.run ?trace machine func
   | Graph_coloring -> Coloring.run ?trace machine func
+  | Optimal opts -> Optimal.run ~opts ?trace machine func
 
 let run_program ?jobs ?trace algorithm machine prog =
   (* A shared trace sink is not domain-safe: force sequential. *)

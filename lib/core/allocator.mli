@@ -1,4 +1,4 @@
-(** One entry point over the four allocators, plus the paper's full
+(** One entry point over the allocators, plus the paper's full
     compilation pipeline (DCE → allocation → peephole). *)
 
 open Lsra_ir
@@ -9,13 +9,18 @@ type algorithm =
   | Two_pass
   | Poletto
   | Graph_coloring
+  | Optimal of Optimal.options
+      (** exact branch-and-bound spill minimisation; degrades to
+          {!Graph_coloring} when its node budget trips (see {!Optimal}) *)
 
 val default_second_chance : algorithm
+val default_optimal : algorithm
 
-(** All four allocators (default options), in the paper's order. The
-    corpus-wide oracles — {!run_program} callers, the verifier sweeps in
-    the test suite, and the differential-execution checker — iterate this
-    list, so adding an allocator here puts it under every oracle. *)
+(** The four heuristic allocators (default options) in the paper's order,
+    with the exact allocator as the top rung. The corpus-wide oracles —
+    {!run_program} callers, the verifier sweeps in the test suite, and
+    the differential-execution checker — iterate this list, so adding an
+    allocator here puts it under every oracle. *)
 val all : algorithm list
 
 val name : algorithm -> string

@@ -12,6 +12,8 @@ type t = {
   mutable interference_edges : int;
   mutable coalesced_moves : int;
   mutable downgrades : int;
+  mutable opt_nodes : int;
+  mutable opt_proven : int;
   mutable alloc_time : float;
   mutable time_liveness : float;
   mutable time_lifetime : float;
@@ -69,6 +71,8 @@ let create () =
     interference_edges = 0;
     coalesced_moves = 0;
     downgrades = 0;
+    opt_nodes = 0;
+    opt_proven = 0;
     alloc_time = 0.;
     time_liveness = 0.;
     time_lifetime = 0.;
@@ -164,6 +168,8 @@ let add ~into s =
   into.interference_edges <- into.interference_edges + s.interference_edges;
   into.coalesced_moves <- into.coalesced_moves + s.coalesced_moves;
   into.downgrades <- into.downgrades + s.downgrades;
+  into.opt_nodes <- into.opt_nodes + s.opt_nodes;
+  into.opt_proven <- into.opt_proven + s.opt_proven;
   into.alloc_time <- into.alloc_time +. s.alloc_time;
   into.time_liveness <- into.time_liveness +. s.time_liveness;
   into.time_lifetime <- into.time_lifetime +. s.time_lifetime;
@@ -197,6 +203,10 @@ let pp fmt s =
       s.frame_saved;
   if s.downgrades > 0 then
     Format.fprintf fmt "@,@[<v>deadline downgrades: %d@]" s.downgrades;
+  if s.opt_nodes > 0 then
+    Format.fprintf fmt
+      "@,@[<v>branch-and-bound: %d nodes, %d functions proven optimal@]"
+      s.opt_nodes s.opt_proven;
   let ttotal =
     s.time_liveness +. s.time_lifetime +. s.time_scan +. s.time_resolution
     +. s.time_copyprop +. s.time_dce +. s.time_motion +. s.time_peephole

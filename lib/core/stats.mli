@@ -20,7 +20,13 @@ type t = {
   mutable coalesced_moves : int;
   mutable downgrades : int;
       (** deadline-driven algorithm downgrades taken by the allocation
-          service (see [Lsra_service.Service]) *)
+          service (see [Lsra_service.Service]), and budget-driven
+          downgrades taken by the exact allocator (see [Optimal]) *)
+  mutable opt_nodes : int;
+      (** branch-and-bound nodes explored by the exact allocator *)
+  mutable opt_proven : int;
+      (** functions whose exact search ran to completion: the result is a
+          proven optimum of the whole-lifetime model *)
   mutable alloc_time : float;  (** seconds spent inside the allocator *)
   mutable time_liveness : float;  (** wall seconds, per pass, below *)
   mutable time_lifetime : float;

@@ -9,6 +9,7 @@ type reason =
   | Whole
   | Point
   | Color
+  | Exact
 
 let reason_to_string = function
   | Free_hole -> "free-hole"
@@ -19,6 +20,7 @@ let reason_to_string = function
   | Whole -> "whole"
   | Point -> "point"
   | Color -> "color"
+  | Exact -> "exact"
 
 type candidate = {
   c_reg : Mreg.t;

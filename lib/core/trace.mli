@@ -33,6 +33,8 @@ type reason =
   | Whole  (** whole-lifetime commitment (two-pass binpacking) *)
   | Point  (** point lifetime of a spilled temp (two-pass / Poletto) *)
   | Color  (** graph-coloring assignment *)
+  | Exact  (** proven-optimal whole-lifetime commitment (branch and
+               bound) *)
 
 val reason_to_string : reason -> string
 

@@ -24,6 +24,11 @@ let algo_fingerprint (algo : Lsra.Allocator.algorithm) =
   | Two_pass -> "twopass"
   | Poletto -> "poletto"
   | Graph_coloring -> "gc"
+  | Optimal opts ->
+    (* The budget is part of the result's identity: a bigger budget can
+       turn a degraded answer into a proven optimum. *)
+    Printf.sprintf "optimal{budget=%d,gate=%d}" opts.Lsra.Optimal.node_budget
+      opts.Lsra.Optimal.max_instrs
 
 let digest ~machine ~algo ~passes prog =
   (* NUL separators: no component can masquerade as another by embedding

@@ -37,8 +37,15 @@ type conn = {
   mutable rlen : int;  (* valid bytes in [rbuf] *)
   mutable rpos : int;  (* consumed prefix of [rbuf] *)
   mutable state : istate;
-  wq : Buffer.t;  (* response bytes not yet written *)
-  mutable wpos : int;  (* written prefix of [wq] *)
+  (* Write queue as a [whead, wtail) window over [wbuf]: each select
+     round writes straight out of the buffer at [whead] — no copy of the
+     queued suffix per attempt (a Buffer here meant Buffer.contents
+     copied the whole backlog every round: quadratic on a slow
+     client). The window compacts to offset 0 on full drain, so a
+     long-lived connection reuses the same backing bytes. *)
+  mutable wbuf : Bytes.t;
+  mutable whead : int;  (* start of the unwritten window *)
+  mutable wtail : int;  (* end of the valid bytes *)
   mutable severity : int;
   mutable eof : bool;  (* read side done (EOF or reset) *)
   mutable dead : bool;  (* fully abandoned; fd closed *)
@@ -69,8 +76,9 @@ let make_conn fd =
     rlen = 0;
     rpos = 0;
     state = Idle;
-    wq = Buffer.create 1024;
-    wpos = 0;
+    wbuf = Bytes.create 1024;
+    whead = 0;
+    wtail = 0;
     severity = 0;
     eof = false;
     dead = false;
@@ -90,24 +98,46 @@ let close_conn t c =
 
 let mark_dead t c =
   c.dead <- true;
-  Buffer.clear c.wq;
-  c.wpos <- 0;
+  c.whead <- 0;
+  c.wtail <- 0;
   close_conn t c
 
+let wq_len c = c.wtail - c.whead
+
+let wq_add c s =
+  let n = String.length s in
+  if c.wtail + n > Bytes.length c.wbuf then begin
+    (* Compact the drained prefix down first; grow only if the window
+       still does not fit. *)
+    if c.whead > 0 then begin
+      Bytes.blit c.wbuf c.whead c.wbuf 0 (c.wtail - c.whead);
+      c.wtail <- c.wtail - c.whead;
+      c.whead <- 0
+    end;
+    if c.wtail + n > Bytes.length c.wbuf then begin
+      let cap = ref (max 1024 (2 * Bytes.length c.wbuf)) in
+      while c.wtail + n > !cap do
+        cap := 2 * !cap
+      done;
+      let bigger = Bytes.create !cap in
+      Bytes.blit c.wbuf 0 bigger 0 c.wtail;
+      c.wbuf <- bigger
+    end
+  end;
+  Bytes.blit_string s 0 c.wbuf c.wtail n;
+  c.wtail <- c.wtail + n
+
 let queue_frame c line payload =
-  if not c.dead then Buffer.add_string c.wq (Protocol.render_frame line payload)
+  if not c.dead then wq_add c (Protocol.render_frame line payload)
 
 let try_write t c =
-  if (not c.dead) && Buffer.length c.wq > c.wpos then begin
-    match
-      Unix.write_substring c.fd (Buffer.contents c.wq) c.wpos
-        (Buffer.length c.wq - c.wpos)
-    with
+  if (not c.dead) && wq_len c > 0 then begin
+    match Unix.write c.fd c.wbuf c.whead (wq_len c) with
     | n ->
-      c.wpos <- c.wpos + n;
-      if c.wpos = Buffer.length c.wq then begin
-        Buffer.clear c.wq;
-        c.wpos <- 0
+      c.whead <- c.whead + n;
+      if c.whead = c.wtail then begin
+        c.whead <- 0;
+        c.wtail <- 0
       end
     | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _) -> ()
     | exception Unix.Unix_error _ -> mark_dead t c  (* EPIPE & friends *)
@@ -308,15 +338,15 @@ let accept_clients t =
   go ()
 
 let reap t =
-  let drained c = Buffer.length c.wq = c.wpos in
   let keep, drop =
-    List.partition (fun c -> (not c.dead) && not (c.eof && drained c)) t.conns
+    List.partition
+      (fun c -> (not c.dead) && not (c.eof && wq_len c = 0))
+      t.conns
   in
   List.iter (fun c -> close_conn t c) drop;
   t.conns <- keep
 
-let drained_all t =
-  List.for_all (fun c -> c.dead || Buffer.length c.wq = c.wpos) t.conns
+let drained_all t = List.for_all (fun c -> c.dead || wq_len c = 0) t.conns
 
 let run ?(max_clients = 64) sched lsock =
   (* A client that hangs up right before we answer must surface as
@@ -350,9 +380,7 @@ let run ?(max_clients = 64) sched lsock =
       in
       let writes =
         List.filter_map
-          (fun c ->
-            if (not c.dead) && Buffer.length c.wq > c.wpos then Some c.fd
-            else None)
+          (fun c -> if (not c.dead) && wq_len c > 0 then Some c.fd else None)
           t.conns
       in
       if reads = [] && writes = [] then
@@ -375,9 +403,7 @@ let run ?(max_clients = 64) sched lsock =
              every connection — is one scheduler batch. *)
           if Scheduler.pending t.sched > 0 then flush_batch t;
           List.iter
-            (fun c ->
-              if List.memq c.fd ws || Buffer.length c.wq > c.wpos then
-                try_write t c)
+            (fun c -> if List.memq c.fd ws || wq_len c > 0 then try_write t c)
             t.conns;
           reap t
       end

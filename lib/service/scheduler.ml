@@ -35,6 +35,10 @@ let flush t =
       (Printf.sprintf
          "Scheduler.flush: internal error: %d results for %d requests"
          (Array.length results) (Array.length batch));
+  (* The batch boundary is the store's durability point: one fsync per
+     shard covers every append the batch produced (see Store.sync_mode;
+     a no-op in the default Never mode). *)
+  if Array.length batch > 0 then Service.sync_store t.svc;
   List.init (Array.length batch) (fun i ->
       let req = batch.(i) in
       (match results.(i) with

@@ -12,6 +12,7 @@ type config = {
   shards : int;
   store_dir : string option;
   store_bytes : int;
+  store_sync : Store.sync_mode;
 }
 
 let default_config machine =
@@ -26,6 +27,7 @@ let default_config machine =
     shards = 1;
     store_dir = None;
     store_bytes = 16 * 1024 * 1024;
+    store_sync = Store.Never;
   }
 
 type request = {
@@ -81,7 +83,8 @@ let create cfg =
   let store =
     Option.map
       (fun dir ->
-        Store.open_ ~dir ~shards ~max_bytes:cfg.store_bytes ())
+        Store.open_ ~dir ~shards ~max_bytes:cfg.store_bytes
+          ~sync:cfg.store_sync ())
       cfg.store_dir
   in
   (* Warm-load: replay the journal, oldest record first, so both cache
@@ -114,6 +117,10 @@ let create cfg =
 
 let config t = t.cfg
 let store t = t.store
+
+(* Batch-boundary durability point; a no-op without a store or under
+   [Store.Never]. *)
+let sync_store t = Option.iter Store.sync t.store
 
 let shard_of t key =
   t.caches.(Store.shard_of_key ~shards:(Array.length t.caches) key)
@@ -177,6 +184,7 @@ let algo_of_name = function
   | "twopass" -> Some Lsra.Allocator.Two_pass
   | "poletto" -> Some Lsra.Allocator.Poletto
   | "gc" | "coloring" -> Some Lsra.Allocator.Graph_coloring
+  | "optimal" | "exact" -> Some Lsra.Allocator.default_optimal
   | _ -> None
 
 (* Cheapest last; every rung after the first trades allocation quality
@@ -194,6 +202,17 @@ let ladder (algo : Lsra.Allocator.algorithm) =
     ]
   | Two_pass -> [ algo; Lsra.Allocator.Poletto ]
   | Poletto -> [ algo ]
+  | Optimal _ ->
+    (* Deadline degradation steps off the exact rung first: it is by far
+       the most expensive, and every heuristic below it is an anytime
+       answer to the same request. *)
+    [
+      algo;
+      Lsra.Allocator.Graph_coloring;
+      Lsra.Allocator.default_second_chance;
+      Lsra.Allocator.Two_pass;
+      Lsra.Allocator.Poletto;
+    ]
 
 let rate t algo =
   match Hashtbl.find_opt t.rates (Lsra.Allocator.short_name algo) with

@@ -53,6 +53,10 @@ type config = {
   store_bytes : int;
       (** per-shard journal byte budget before compaction (default
           16 MiB) *)
+  store_sync : Store.sync_mode;
+      (** journal append durability: [Store.Never] (default) flushes
+          but never fsyncs; [Store.Batch] fsyncs at the scheduler's
+          batch boundaries (see {!sync_store}) *)
 }
 
 val default_config : Machine.t -> config
@@ -102,6 +106,11 @@ val config : t -> config
 
 (** The persistent store, when the service was configured with one. *)
 val store : t -> Store.t option
+
+(** Force the store's journals to disk ({!Store.sync}); the scheduler
+    calls this at every batch boundary. A no-op without a store or under
+    [Store.Never]. *)
+val sync_store : t -> unit
 
 (** Serve one request. Thread-/domain-safe: cache shards, cost model,
     store and trace emission are mutex-guarded, so {!Scheduler} may call

@@ -19,6 +19,12 @@ type counters = {
   compactions : int;
 }
 
+(* When to push journal appends past the OS page cache. [Never] (the
+   default) only flushes the runtime's channel buffer — a crash of the
+   process loses nothing, a power loss may lose recent appends. [Batch]
+   fsyncs at batch boundaries via {!sync}. *)
+type sync_mode = Never | Batch
+
 type shard = {
   path : string;
   (* key -> (algo, output): the live payload for each key (last append
@@ -36,6 +42,7 @@ type t = {
   dir : string;
   shards : shard array;
   max_bytes : int;  (* per-shard journal budget before compaction *)
+  sync_mode : sync_mode;
   mutable appended : int;
   mutable loaded : int;
   mutable torn : int;
@@ -117,10 +124,28 @@ let parse_journal data =
   let valid_end, torn = go 0 in
   (List.rev !records, valid_end, torn)
 
+(* Directory fsync is advisory: some filesystems refuse it, and a
+   refusal must not fail the write that already landed. *)
+let fsync_dir dir =
+  match Unix.openfile dir [ Unix.O_RDONLY ] 0 with
+  | fd ->
+    (try Unix.fsync fd with Unix.Unix_error _ -> ());
+    (try Unix.close fd with Unix.Unix_error _ -> ())
+  | exception Unix.Unix_error _ -> ()
+
+(* Crash-safe replace: the tmp file's bytes are forced to disk before
+   the rename, and the directory entry after it — otherwise a power
+   loss right after a compaction or a meta write can surface an empty
+   or vanished file that torn-tail recovery cannot help (the journal's
+   append-only story covers truncated tails, not lost renames). *)
 let write_file path contents =
   let tmp = path ^ ".tmp" in
-  Out_channel.with_open_bin tmp (fun oc -> Out_channel.output_string oc contents);
-  Sys.rename tmp path
+  Out_channel.with_open_bin tmp (fun oc ->
+      Out_channel.output_string oc contents;
+      Out_channel.flush oc;
+      Unix.fsync (Unix.descr_of_out_channel oc));
+  Sys.rename tmp path;
+  fsync_dir (Filename.dirname path)
 
 (* Rewrite the shard's journal from its in-memory state: one record per
    live key, oldest-touched first, dropping the oldest keys while the
@@ -188,7 +213,8 @@ let append_oc sh =
 
 let meta_path dir = Filename.concat dir "meta"
 
-let open_ ~dir ?(shards = 1) ?(max_bytes = 16 * 1024 * 1024) () =
+let open_ ~dir ?(shards = 1) ?(max_bytes = 16 * 1024 * 1024) ?(sync = Never) ()
+    =
   let shards = max 1 shards in
   mkdirs dir;
   (* The shard count is part of the on-disk layout: refuse to reopen a
@@ -210,6 +236,7 @@ let open_ ~dir ?(shards = 1) ?(max_bytes = 16 * 1024 * 1024) () =
     {
       dir;
       max_bytes = max 4096 max_bytes;
+      sync_mode = sync;
       shards =
         Array.init shards (fun i ->
             let sdir = Filename.concat dir (Printf.sprintf "shard-%02d" i) in
@@ -282,6 +309,24 @@ let append t ~key ~algo ~output =
         ignore (compact_shard t.max_bytes sh);
         locked t.lock (fun () -> t.compactions <- t.compactions + 1)
       end)
+
+(* Batch-boundary durability point: force every shard's open journal to
+   disk. A no-op under [Never]; [append] itself never fsyncs, so the
+   cost of durability is paid once per batch, not once per record. *)
+let sync t =
+  match t.sync_mode with
+  | Never -> ()
+  | Batch ->
+    Array.iter
+      (fun (sh : shard) ->
+        locked sh.lock (fun () ->
+            match sh.oc with
+            | Some oc ->
+              flush oc;
+              (try Unix.fsync (Unix.descr_of_out_channel oc)
+               with Unix.Unix_error _ -> ())
+            | None -> ()))
+      t.shards
 
 let counters t =
   let entries = ref 0 and bytes = ref 0 in

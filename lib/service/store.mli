@@ -33,6 +33,16 @@ type counters = {
 
 type t
 
+(** Journal durability policy. [Never] (the default) flushes appends to
+    the OS but never fsyncs them — a process crash loses nothing, a
+    power loss may lose the most recent appends. [Batch] makes {!sync}
+    (called by the scheduler at batch boundaries) fsync every shard's
+    journal, bounding power-loss exposure to the current batch at the
+    cost of one fsync per shard per batch. Compaction and meta rewrites
+    are always crash-safe regardless of the mode (tmp-file fsync +
+    rename + directory fsync). *)
+type sync_mode = Never | Batch
+
 (** Stable shard index of [key] (independent of the OCaml runtime's
     polymorphic hash — safe to rely on across processes and restarts). *)
 val shard_of_key : shards:int -> string -> int
@@ -40,9 +50,11 @@ val shard_of_key : shards:int -> string -> int
 (** [open_ ~dir ~shards ~max_bytes ()] creates or reopens the store,
     loading every shard's valid journal prefix. [max_bytes] (default
     16 MiB, floor 4 KiB) bounds each shard's journal; exceeding it
-    triggers compaction. Raises [Invalid_argument] if [dir] was created
+    triggers compaction. [sync] (default [Never]) sets the append
+    durability policy. Raises [Invalid_argument] if [dir] was created
     with a different shard count. *)
-val open_ : dir:string -> ?shards:int -> ?max_bytes:int -> unit -> t
+val open_ :
+  dir:string -> ?shards:int -> ?max_bytes:int -> ?sync:sync_mode -> unit -> t
 
 val n_shards : t -> int
 
@@ -57,8 +69,13 @@ val load : t -> (string * string * string) list
     compaction runs inline when the shard's budget is exceeded. *)
 val append : t -> key:string -> algo:string -> output:string -> unit
 
+(** Batch-boundary durability point: under [Batch], flush and fsync
+    every shard's open journal; under [Never], a no-op. Thread-safe. *)
+val sync : t -> unit
+
 val counters : t -> counters
 
 (** Close the append channels (the store may not be used afterwards).
-    Journal contents are already durable — appends are flushed. *)
+    Journal contents survive a process crash — appends are flushed —
+    and are power-loss-durable up to the last {!sync} under [Batch]. *)
 val close : t -> unit

@@ -75,7 +75,7 @@ let traced_alloc_of algo machine func =
     match algo with
     | Lsra.Allocator.Second_chance _ -> true
     | Lsra.Allocator.Two_pass | Lsra.Allocator.Poletto
-    | Lsra.Allocator.Graph_coloring ->
+    | Lsra.Allocator.Graph_coloring | Lsra.Allocator.Optimal _ ->
       false
   in
   match Lsra.Trace.well_formed ~strict evs with

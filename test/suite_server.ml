@@ -289,6 +289,31 @@ let test_store_compaction () =
   Alcotest.(check (list string)) "compacted journal reloads" keys keys2;
   Store.close st2
 
+let test_store_sync_modes () =
+  let dir = temp_dir "lsra-store" in
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  (* Batch mode: sync fsyncs the open journals; appends before and after
+     a sync must both round-trip through a reopen. *)
+  let st = Store.open_ ~dir ~shards:2 ~sync:Store.Batch () in
+  Store.append st ~key:"k1" ~algo:"binpack" ~output:"one\n";
+  Store.sync st;
+  Store.append st ~key:"k2" ~algo:"binpack" ~output:"two\n";
+  Store.sync st;
+  Store.close st;
+  let st2 = Store.open_ ~dir ~shards:2 () in
+  Alcotest.(check int) "both records durable" 2
+    (Store.counters st2).Store.loaded;
+  (* Never mode (the default): sync is a no-op whether or not a journal
+     is open, and appends still round-trip via the channel flush. *)
+  Store.sync st2;
+  Store.append st2 ~key:"k3" ~algo:"binpack" ~output:"three\n";
+  Store.sync st2;
+  Store.close st2;
+  let st3 = Store.open_ ~dir ~shards:2 () in
+  Alcotest.(check int) "append under Never survives" 3
+    (Store.counters st3).Store.loaded;
+  Store.close st3
+
 let test_service_restart_warm () =
   let dir = temp_dir "lsra-warm" in
   Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
@@ -461,6 +486,8 @@ let suite =
       test_store_torn_tail;
     Alcotest.test_case "store: compaction under byte budget" `Quick
       test_store_compaction;
+    Alcotest.test_case "store: sync modes (batch fsync, never no-op)" `Quick
+      test_store_sync_modes;
     Alcotest.test_case "service: restart warm-loads from journal" `Quick
       test_service_restart_warm;
     Alcotest.test_case "mux: concurrent clients, ragged disconnect" `Quick

@@ -16,6 +16,7 @@ let () =
       ("coloring", Suite_coloring.suite);
       ("coloring-internals", Suite_coloring_internals.suite);
       ("baselines", Suite_baselines.suite);
+      ("optimal", Suite_optimal.suite);
       ("properties", Suite_props.suite);
       ("diffexec", Suite_diffexec.suite);
       ("workloads", Suite_workloads.suite);
