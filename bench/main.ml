@@ -646,6 +646,176 @@ let optgap () =
     exit 4
   end
 
+(* jit: compile-to-native and run-native measurements over the corpus —
+   allocation wall, emission wall (with emitted bytes/sec, the figure of
+   merit for a straight-line one-pass encoder), and native-versus-
+   interpreter execution wall, per machine × allocator. Every native run
+   is compared against the post-allocation interpreter run (output bytes
+   and the integer return register); any divergence prints, flips the
+   gate and exits 4 — the benchmark is also a correctness sweep. Writes
+   BENCH_jit.json; on a non-x86-64 host it writes
+   { "available": false } and exits 0 so CI can always archive the
+   artifact. *)
+let jit () =
+  let buf = Buffer.create 4096 in
+  let out () =
+    let path = bench_out_path "BENCH_jit.json" in
+    Out_channel.with_open_text path (fun oc ->
+        Out_channel.output_string oc (Buffer.contents buf));
+    Printf.printf "wrote %s\n" path
+  in
+  if not (Lsra_native.Exec.available ()) then begin
+    print_endline
+      "jit: native execution unavailable on this host (not x86-64); \
+       skipping";
+    Printf.bprintf buf
+      "{\n  \"bench\": \"jit\",\n  \"available\": false,\n  \"scale\": %d\n}\n"
+      scale;
+    out ()
+  end
+  else begin
+    let allocators =
+      [
+        ("binpack", binpack);
+        ("twopass", Lsra.Allocator.Two_pass);
+        ("poletto", Lsra.Allocator.Poletto);
+        ("gc", coloring);
+      ]
+    in
+    let machines =
+      [
+        ("alpha", machine);
+        ( "small-8",
+          Machine.small ~int_regs:8 ~float_regs:8 ~int_caller_saved:4
+            ~float_caller_saved:4 () );
+      ]
+    in
+    let corpus_of m =
+      List.map
+        (fun (case : Lsra_workloads.Specbench.case) ->
+          ( "spec:" ^ case.Lsra_workloads.Specbench.name,
+            case.Lsra_workloads.Specbench.program,
+            case.Lsra_workloads.Specbench.input ))
+        (Lsra_workloads.Specbench.all m ~scale)
+      @ List.filter_map
+          (fun { Lsra_workloads.Mini_corpus.mname; source; minput } ->
+            match Lsra_frontend.Minilang.compile m source with
+            | prog -> Some ("mini:" ^ mname, prog, minput)
+            | exception Lsra_frontend.Lower.Error _ -> None)
+          Lsra_workloads.Mini_corpus.all
+    in
+    Printf.bprintf buf
+      "{\n  \"bench\": \"jit\",\n  \"available\": true,\n  \"scale\": %d,\n\
+      \  \"fingerprint\": %S,\n  \"machines\": [" scale
+      Lsra_native.Lower.fingerprint;
+    let divergences = ref 0 and skips = ref 0 in
+    List.iteri
+      (fun mi (mname, m) ->
+        if mi > 0 then Buffer.add_string buf ",";
+        Printf.printf "jit on %s:\n" mname;
+        Printf.printf "  %-10s %10s %10s %12s %10s %10s %8s\n" "allocator"
+          "alloc-ms" "emit-ms" "emit-MB/s" "interp-ms" "native-ms"
+          "speedup";
+        Printf.bprintf buf "\n    { \"machine\": %S, \"allocators\": ["
+          mname;
+        let cases = corpus_of m in
+        List.iteri
+          (fun ai (aname, algo) ->
+            let programs = ref 0
+            and alloc_s = ref 0.0
+            and emit_s = ref 0.0
+            and bytes = ref 0
+            and interp_s = ref 0.0
+            and native_s = ref 0.0 in
+            List.iter
+              (fun (pname, prog, input) ->
+                let copy = Program.copy prog in
+                let t0 = Unix.gettimeofday () in
+                ignore
+                  (Lsra.Allocator.pipeline ~precheck:false ~verify:false
+                     algo m copy);
+                let t1 = Unix.gettimeofday () in
+                match Lsra_native.Lower.compile m copy with
+                | Error e ->
+                  incr divergences;
+                  Printf.printf
+                    "  DIVERGENCE %s under %s: emission failed: %s\n" pname
+                    aname e
+                | Ok compiled -> (
+                  let t2 = Unix.gettimeofday () in
+                  match Lsra_sim.Interp.run m copy ~input with
+                  | Error _ ->
+                    (* A post-allocation interpreter trap is an allocator
+                       finding owned by diffcheck, not a native one;
+                       nothing to compare against. *)
+                    incr skips
+                  | Ok expected -> (
+                    let t3 = Unix.gettimeofday () in
+                    let o =
+                      Lsra_native.Exec.run_compiled ~input compiled
+                        ~heap_words:(Program.heap_words prog)
+                    in
+                    let t4 = Unix.gettimeofday () in
+                    let diverge why =
+                      incr divergences;
+                      Printf.printf "  DIVERGENCE %s under %s: %s\n" pname
+                        aname why
+                    in
+                    match o.Lsra_native.Exec.trap with
+                    | Some t -> diverge ("native run trapped: " ^ t)
+                    | None ->
+                      if
+                        o.Lsra_native.Exec.output
+                        <> expected.Lsra_sim.Interp.output
+                      then diverge "output mismatch"
+                      else (
+                        (match expected.Lsra_sim.Interp.ret with
+                        | Lsra_sim.Value.Int k
+                          when k <> o.Lsra_native.Exec.ret ->
+                          diverge "return-value mismatch"
+                        | _ -> ());
+                        incr programs;
+                        alloc_s := !alloc_s +. (t1 -. t0);
+                        emit_s := !emit_s +. (t2 -. t1);
+                        bytes := !bytes + o.Lsra_native.Exec.code_bytes;
+                        interp_s := !interp_s +. (t3 -. t2);
+                        native_s := !native_s +. (t4 -. t3)))))
+              cases;
+            let mb_s =
+              if !emit_s > 0.0 then
+                float_of_int !bytes /. !emit_s /. 1.0e6
+              else 0.0
+            in
+            let speedup =
+              if !native_s > 0.0 then !interp_s /. !native_s else 0.0
+            in
+            Printf.printf
+              "  %-10s %10.2f %10.2f %12.1f %10.2f %10.2f %7.1fx\n" aname
+              (!alloc_s *. 1e3) (!emit_s *. 1e3) mb_s (!interp_s *. 1e3)
+              (!native_s *. 1e3) speedup;
+            if ai > 0 then Buffer.add_string buf ",";
+            Printf.bprintf buf
+              "\n        { \"name\": %S, \"programs\": %d, \"alloc_ms\": \
+               %.3f, \"emit_ms\": %.3f,\n\
+              \          \"code_bytes\": %d, \"emit_mb_per_s\": %.1f, \
+               \"interp_ms\": %.3f, \"native_ms\": %.3f,\n\
+              \          \"native_speedup\": %.2f }" aname !programs
+              (!alloc_s *. 1e3) (!emit_s *. 1e3) !bytes mb_s
+              (!interp_s *. 1e3) (!native_s *. 1e3) speedup)
+          allocators;
+        Buffer.add_string buf " ] }";
+        print_newline ())
+      machines;
+    Printf.bprintf buf
+      "\n  ],\n  \"skipped\": %d,\n  \"divergences\": %d\n}\n" !skips
+      !divergences;
+    out ();
+    if !divergences > 0 then begin
+      Printf.eprintf "jit: FAIL — %d native divergence(s)\n%!" !divergences;
+      exit 4
+    end
+  end
+
 let bechamel () =
   let open Bechamel in
   let open Toolkit in
@@ -1367,6 +1537,7 @@ let () =
   | "frames" -> frames ()
   | "corpus" -> corpus ()
   | "optgap" -> optgap ()
+  | "jit" -> jit ()
   | "bechamel" -> bechamel ()
   | "perfdump" -> perfdump ()
   | "service" -> service ()
@@ -1384,6 +1555,6 @@ let () =
   | other ->
     Printf.eprintf
       "unknown benchmark %S (expected \
-       table1|table2|figure3|table3|twopass|ablation|layout|frames|corpus|optgap|bechamel|perfdump|service|fuzz|all)\n"
+       table1|table2|figure3|table3|twopass|ablation|layout|frames|corpus|optgap|jit|bechamel|perfdump|service|fuzz|all)\n"
       other;
     exit 2

@@ -510,6 +510,191 @@ let diffcheck_cmd =
       $ passes_arg ~default:Lsra.Passes.all
       $ no_cleanup_arg)
 
+let jit_cmd =
+  let file_arg =
+    Arg.(
+      value
+      & pos 0 (some string) None
+      & info [] ~docv:"FILE"
+          ~doc:
+            "Program to compile and execute natively ('-' for stdin). \
+             Without it, the built-in corpus plus hostile fuzz seeds are \
+             swept through every allocator and cross-checked against the \
+             interpreter.")
+  in
+  let fn_arg =
+    Arg.(
+      value
+      & pos 1 (some string) None
+      & info [] ~docv:"FN"
+          ~doc:
+            "With $(b,--dump-asm), only disassemble this function \
+             (default: everything, including the entry stub).")
+  in
+  let dump_asm_arg =
+    Arg.(
+      value & flag
+      & info [ "dump-asm" ]
+          ~doc:
+            "Print the annotated listing of the emitted machine code \
+             (works on any host; execution still requires x86-64).")
+  in
+  let scale_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "scale" ] ~docv:"N" ~doc:"Corpus workload scale factor.")
+  in
+  let seeds_arg =
+    Arg.(
+      value & opt int 4
+      & info [ "seeds" ] ~docv:"N"
+          ~doc:
+            "Number of hostile (call-dense, deep-spill) fuzz programs \
+             added to the corpus sweep.")
+  in
+  let run file fn machine algo input fuel passes no_cleanup dump_asm scale
+      seeds =
+    handle_errors (fun () ->
+        let passes = resolve_passes passes no_cleanup in
+        match file with
+        | Some f ->
+          (* Single-program mode: allocate, emit, optionally disassemble,
+             then execute in process. *)
+          let prog = load f in
+          ignore
+            (Lsra.Allocator.pipeline ~precheck:true ~verify:false ~passes
+               algo machine prog);
+          (match Lsra_native.Lower.compile machine prog with
+          | Error e ->
+            Printf.eprintf "emission failed: %s\n" e;
+            exit 1
+          | Ok compiled ->
+            if dump_asm then
+              print_string (Lsra_native.Lower.dump_asm ?fn compiled);
+            if not (Lsra_native.Exec.available ()) then (
+              Printf.eprintf
+                "jit: host is not x86-64; emitted %d bytes but cannot \
+                 execute them\n"
+                (Bytes.length compiled.Lsra_native.Lower.code);
+              if not dump_asm then exit 1)
+            else
+              let o =
+                Lsra_native.Exec.run_compiled ~fuel ~input compiled
+                  ~heap_words:(Program.heap_words prog)
+              in
+              print_string o.Lsra_native.Exec.output;
+              (match o.Lsra_native.Exec.trap with
+              | Some t ->
+                Printf.eprintf "native trap: %s\n" t;
+                exit 1
+              | None -> ());
+              Printf.printf "; ret = %d\n" o.Lsra_native.Exec.ret;
+              Printf.printf "; code = %d bytes, fuel left = %d\n"
+                o.Lsra_native.Exec.code_bytes o.Lsra_native.Exec.fuel_left)
+        | None ->
+          (* Sweep mode: the diffcheck corpus on the given machine plus a
+             spill-heavy one, and hostile generated programs, through
+             every allocator — each compared against the interpreter by
+             the native oracle. Divergences gate the exit code at 4. *)
+          if not (Lsra_sim.Diffexec.native_available ()) then (
+            Printf.printf
+              "jit: native execution unavailable on this host (not \
+               x86-64); nothing checked\n";
+            exit 0);
+          let small7 =
+            Machine.small ~int_regs:7 ~float_regs:7 ~int_caller_saved:4
+              ~float_caller_saved:4 ()
+          in
+          let hostile m =
+            List.init seeds (fun i ->
+                let params =
+                  Lsra_workloads.Gen.hostile_params ~seed:(1000 + i)
+                in
+                ( Printf.sprintf "hostile:%d" (1000 + i),
+                  Lsra_workloads.Gen.program ~params m,
+                  "" ))
+          in
+          let jobs =
+            [
+              (machine, corpus machine ~scale @ hostile machine);
+              (small7, corpus small7 ~scale @ hostile small7);
+            ]
+          in
+          let allocators =
+            List.map
+              (function
+                | Lsra.Allocator.Optimal o ->
+                  Lsra.Allocator.Optimal
+                    { o with Lsra.Optimal.node_budget = 2_000 }
+                | a -> a)
+              Lsra.Allocator.all
+          in
+          let checks = ref 0
+          and ok = ref 0
+          and skipped = ref 0
+          and diverged = ref 0
+          and bytes = ref 0 in
+          let skip_reasons : (string, int) Hashtbl.t = Hashtbl.create 8 in
+          List.iter
+            (fun (m, programs) ->
+              let mname = Machine.name m in
+              List.iter
+                (fun (pname, prog, inp) ->
+                  List.iter
+                    (fun a ->
+                      incr checks;
+                      match
+                        Lsra_sim.Diffexec.check_native ~fuel ~input:inp
+                          ~passes m a prog
+                      with
+                      | Lsra_sim.Diffexec.Native_ok { code_bytes } ->
+                        incr ok;
+                        bytes := !bytes + code_bytes
+                      | Lsra_sim.Diffexec.Native_skipped why ->
+                        incr skipped;
+                        Hashtbl.replace skip_reasons why
+                          (1
+                          + Option.value ~default:0
+                              (Hashtbl.find_opt skip_reasons why))
+                      | Lsra_sim.Diffexec.Native_diverged why ->
+                        incr diverged;
+                        Printf.eprintf
+                          "NATIVE DIVERGENCE %s on %s under %s: %s\n%!"
+                          pname mname
+                          (Lsra.Allocator.short_name a)
+                          why)
+                    allocators)
+                programs)
+            jobs;
+          Printf.printf
+            "jit: %d checks (passes: %s), %d native runs ok (%d bytes \
+             emitted), %d skipped, %d divergences\n"
+            !checks
+            (Lsra.Passes.to_spec passes)
+            !ok !bytes !skipped !diverged;
+          Hashtbl.iter
+            (fun why n -> Printf.printf "jit:   skipped %dx: %s\n" n why)
+            skip_reasons;
+          if !diverged > 0 then exit exit_divergence)
+  in
+  Cmd.v
+    (Cmd.info "jit"
+       ~doc:
+         "Emit x86-64 machine code for an allocated program and execute \
+          it in process. With $(i,FILE): allocate, emit (optionally \
+          $(b,--dump-asm)) and run, printing the program's output and \
+          return value. Without $(i,FILE): sweep the built-in corpus \
+          plus hostile call-dense fuzz programs through every allocator, \
+          executing each natively and requiring output and return value \
+          to match the interpreter byte for byte; exits 4 on any \
+          divergence. On non-x86-64 hosts the sweep skips with a notice \
+          and $(b,--dump-asm) still works.")
+    Term.(
+      const run $ file_arg $ fn_arg $ machine_arg $ algo_term $ input_arg
+      $ fuel_arg
+      $ passes_arg ~default:Lsra.Passes.all
+      $ no_cleanup_arg $ dump_asm_arg $ scale_arg $ seeds_arg)
+
 let trace_cmd =
   let fn_arg =
     Arg.(
@@ -674,11 +859,36 @@ let serve_cmd =
           ~doc:
             "Maximum concurrent socket connections the multiplexer accepts \
              (socket mode only); further clients queue in the listen \
-             backlog.")
+             backlog. Must be below 1024 (POSIX FD_SETSIZE): the \
+             select-based multiplexer cannot watch descriptors past that \
+             limit.")
+  in
+  let native_arg =
+    Arg.(
+      value & flag
+      & info [ "native" ]
+          ~doc:
+            "Native-backend mode: every cold allocation must also emit \
+             x86-64 machine code (an unemittable program answers ERR 4 \
+             and is not cached), and cache keys carry the encoder \
+             fingerprint, so native entries never collide with pure-IR \
+             ones and an encoder change invalidates them wholesale. \
+             Emission is host-independent; works on any machine.")
   in
   let run machine jobs socket cache_bytes cache_entries queue spot_check
-      no_verify store_dir shards store_sync max_clients =
+      no_verify store_dir shards store_sync max_clients native =
     handle_errors (fun () ->
+        (* Fail the impossible configuration at startup with a clear
+           message, not mid-serve: select(2) cannot watch fds >=
+           FD_SETSIZE, so such a server would accept clients it can
+           never service. *)
+        if max_clients >= 1024 then begin
+          Printf.eprintf
+            "serve: --max-clients %d exceeds what select(2) can watch \
+             (FD_SETSIZE = 1024); use 1023 or fewer\n"
+            max_clients;
+          exit 2
+        end;
         let cfg =
           {
             (Lsra_service.Service.default_config machine) with
@@ -689,6 +899,7 @@ let serve_cmd =
             store_dir;
             shards;
             store_sync;
+            native;
           }
         in
         let svc = Lsra_service.Service.create cfg in
@@ -722,7 +933,8 @@ let serve_cmd =
     Term.(
       const run $ machine_arg $ jobs_arg $ socket_arg $ cache_bytes_arg
       $ cache_entries_arg $ queue_arg $ spot_check_arg $ no_verify_arg
-      $ store_dir_arg $ shards_arg $ store_sync_arg $ max_clients_arg)
+      $ store_dir_arg $ shards_arg $ store_sync_arg $ max_clients_arg
+      $ native_arg)
 
 let () =
   let default = Term.(ret (const (`Help (`Pager, None)))) in
@@ -742,6 +954,7 @@ let () =
             compile_cmd;
             exec_cmd;
             diffcheck_cmd;
+            jit_cmd;
             trace_cmd;
             serve_cmd;
           ]))

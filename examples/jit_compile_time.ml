@@ -3,7 +3,11 @@
    procedure size and prints allocation time per IR instruction for the
    linear-scan allocators against graph coloring, showing where coloring's
    quadratic graph construction starts to hurt — the paper's Table 3
-   story, presented as a compile-speed curve.
+   story, presented as a compile-speed curve. Alongside allocation it
+   times the other half of a JIT's pipeline — native x86-64 emission of
+   the allocated program — and reports the encoder's throughput in
+   emitted bytes per second (emission is host-independent; only
+   executing the code needs x86-64).
 
      dune exec examples/jit_compile_time.exe
 *)
@@ -24,10 +28,28 @@ let time_alloc algo machine prog =
   done;
   !best
 
+(* Best-of-3 native emission wall on an already-allocated program;
+   returns (seconds, emitted bytes). *)
+let time_emit machine prog =
+  let allocated = Program.copy prog in
+  ignore
+    (Lsra.Allocator.run_program Lsra.Allocator.default_second_chance machine
+       allocated);
+  let best = ref infinity and bytes = ref 0 in
+  for _ = 1 to 3 do
+    let t0 = Unix.gettimeofday () in
+    (match Lsra_native.Lower.compile machine allocated with
+    | Ok c -> bytes := Bytes.length c.Lsra_native.Lower.code
+    | Error e -> failwith ("emission failed: " ^ e));
+    best := min !best (Unix.gettimeofday () -. t0)
+  done;
+  (!best, !bytes)
+
 let () =
   let machine = Machine.alpha_like in
-  Printf.printf "%-12s %10s %14s %14s %14s\n" "candidates" "instrs"
-    "binpack (µs)" "coloring (µs)" "poletto (µs)";
+  Printf.printf "%-12s %10s %14s %14s %14s %12s %12s\n" "candidates"
+    "instrs" "binpack (µs)" "coloring (µs)" "poletto (µs)" "emit (µs)"
+    "emit MB/s";
   List.iter
     (fun (candidates, window, clique) ->
       let prog =
@@ -46,8 +68,11 @@ let () =
       let t_bp = time_alloc Lsra.Allocator.default_second_chance machine prog in
       let t_gc = time_alloc Lsra.Allocator.Graph_coloring machine prog in
       let t_po = time_alloc Lsra.Allocator.Poletto machine prog in
-      Printf.printf "%-12d %10d %14.1f %14.1f %14.1f\n" candidates n_instrs
-        (t_bp *. 1e6) (t_gc *. 1e6) (t_po *. 1e6))
+      let t_emit, emitted = time_emit machine prog in
+      Printf.printf "%-12d %10d %14.1f %14.1f %14.1f %12.1f %12.1f\n"
+        candidates n_instrs (t_bp *. 1e6) (t_gc *. 1e6) (t_po *. 1e6)
+        (t_emit *. 1e6)
+        (float_of_int emitted /. t_emit /. 1e6))
     [
       (100, 5, 0);
       (400, 6, 0);
@@ -58,4 +83,8 @@ let () =
   Printf.printf
     "\nFor a JIT the flat linear-scan curve is the point: allocation cost\n\
      per instruction stays roughly constant, while coloring grows with\n\
-     the interference graph (and its spill/rebuild iterations).\n"
+     the interference graph (and its spill/rebuild iterations). Native\n\
+     emission is a single linear pass over the allocated IR, so its\n\
+     bytes-per-second throughput stays flat with procedure size too —\n\
+     allocation plus emission together keep the whole compile pipeline\n\
+     linear in program size.\n"

@@ -1,0 +1,93 @@
+external available_stub : unit -> bool = "lsra_native_available"
+
+let available = available_stub
+
+external ctx_create : int -> int -> int -> (int -> int -> float -> int)
+  -> nativeint = "lsra_native_ctx_create"
+
+external ctx_free : nativeint -> unit = "lsra_native_ctx_free"
+external ctx_get_reg : nativeint -> int -> int64 = "lsra_native_ctx_get_reg"
+external ctx_trap : nativeint -> int = "lsra_native_ctx_trap"
+external ctx_fuel : nativeint -> int = "lsra_native_ctx_fuel"
+external code_map : bytes -> nativeint = "lsra_native_code_map"
+external code_unmap : nativeint -> int -> unit = "lsra_native_code_unmap"
+external code_run : nativeint -> nativeint -> unit = "lsra_native_code_run"
+
+type outcome = {
+  output : string;
+  ret : int;
+  trap : string option;
+  fuel_left : int;
+  code_bytes : int;
+}
+
+let trap_message = function
+  | 0 -> None
+  | 1 -> Some "division by zero"
+  | 2 -> Some "heap address out of bounds"
+  | 3 -> Some "out of fuel"
+  | 4 -> Some "external call trapped"
+  | 5 -> Some "call to unknown function"
+  | n -> Some (Printf.sprintf "unknown trap code %d" n)
+
+let run_compiled ?(fuel = 200_000_000) ?(input = "")
+    (c : Lower.compiled) ~heap_words =
+  if not (available ()) then
+    failwith "lsra_native: execution unavailable on this host";
+  let out = Buffer.create 256 in
+  let in_pos = ref 0 in
+  (* The ext dispatch: ids match Lower.ext_id. Formatting goes through
+     the same stdlib calls as Interp.intrinsic, so output is
+     byte-identical by construction. Unknown ids raise, which the C
+     helper converts into trap code 4. *)
+  let callback id iarg farg =
+    match id with
+    | 1 ->
+      if !in_pos >= String.length input then -1
+      else begin
+        let ch = Char.code input.[!in_pos] in
+        incr in_pos;
+        ch
+      end
+    | 2 ->
+      Buffer.add_char out (Char.chr (iarg land 255));
+      0
+    | 3 ->
+      Buffer.add_string out (string_of_int iarg);
+      Buffer.add_char out '\n';
+      0
+    | 4 ->
+      Buffer.add_string out (Printf.sprintf "%.6f\n" farg);
+      0
+    | _ -> raise Exit
+  in
+  let ctx = ctx_create (c.Lower.n_iregs + c.Lower.n_fregs) heap_words fuel
+      callback
+  in
+  Fun.protect
+    ~finally:(fun () -> ctx_free ctx)
+    (fun () ->
+      let code = code_map c.Lower.code in
+      if code = 0n then failwith "lsra_native: mmap/mprotect failed";
+      Fun.protect
+        ~finally:(fun () -> code_unmap code (Bytes.length c.Lower.code))
+        (fun () ->
+          code_run code ctx;
+          {
+            output = Buffer.contents out;
+            (* The integer return register is index 0 by the Machine
+               contract, hence bank slot 0; values are 63-bit
+               normalised, so the truncation is exact. *)
+            ret = Int64.to_int (ctx_get_reg ctx 0);
+            trap = trap_message (ctx_trap ctx);
+            fuel_left = ctx_fuel ctx;
+            code_bytes = Bytes.length c.Lower.code;
+          }))
+
+let run ?fuel ?input machine prog =
+  match Lower.compile machine prog with
+  | Error _ as e -> e
+  | Ok compiled ->
+    Ok
+      (run_compiled ?fuel ?input compiled
+         ~heap_words:(Lsra_ir.Program.heap_words prog))

@@ -1,0 +1,42 @@
+(** In-process execution of compiled code.
+
+    Maps machine code from {!Lower.compile} into W^X executable memory
+    (mmap RW → copy → mprotect R|X), builds the C execution context,
+    and calls the entry stub through the FFI trampoline. The ext_*
+    intrinsics call back into OCaml, so output bytes (including
+    [ext_puti]/[ext_putf] number formatting) are produced by the very
+    same code paths as the interpreter's, making native runs
+    byte-comparable with [Interp.run]. *)
+
+open Lsra_target
+
+(** Whether this host can execute emitted code (x86-64 with working
+    mmap/mprotect). Everything except {!run}/{!run_compiled} works —
+    and the golden encoding fixtures run — on any host. *)
+val available : unit -> bool
+
+type outcome = {
+  output : string;  (** everything the ext_put* intrinsics printed *)
+  ret : int;  (** final value of the integer return register *)
+  trap : string option;  (** a runtime guard fired (None = clean run) *)
+  fuel_left : int;
+  code_bytes : int;
+}
+
+(** Execute a compiled program. [heap_words] sizes the word-addressed
+    heap exactly like [Program.heap_words] sizes the interpreter's.
+    Raises [Failure] when {!available} is false or mapping fails. *)
+val run_compiled :
+  ?fuel:int ->
+  ?input:string ->
+  Lower.compiled ->
+  heap_words:int ->
+  outcome
+
+(** Compile and execute in one step. *)
+val run :
+  ?fuel:int ->
+  ?input:string ->
+  Machine.t ->
+  Lsra_ir.Program.t ->
+  (outcome, string) result

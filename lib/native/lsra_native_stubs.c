@@ -1,0 +1,232 @@
+/* Executable memory + execution context for the JIT backend.
+ *
+ * W^X discipline: code is mapped PROT_READ|PROT_WRITE, filled, then
+ * flipped to PROT_READ|PROT_EXEC before the first call — the mapping
+ * is never writable and executable at once.
+ *
+ * The context structure is the ABI between the OCaml emitter
+ * (lib/native/lower.ml) and this file: fixed 8-byte header fields at
+ * fixed offsets, then the register bank.  The emitter addresses it
+ * off R14; keep the two layouts in lockstep (static asserts below).
+ *
+ * Everything is gated on __x86_64__: on other hosts the stubs exist
+ * (so linking always succeeds) but report unavailability.
+ */
+
+#include <stdint.h>
+#include <stdlib.h>
+#include <string.h>
+#include <stddef.h>
+
+#include <caml/mlvalues.h>
+#include <caml/alloc.h>
+#include <caml/memory.h>
+#include <caml/fail.h>
+#include <caml/callback.h>
+
+#if defined(__x86_64__) && !defined(_WIN32)
+#define LSRA_NATIVE_AVAILABLE 1
+#include <sys/mman.h>
+#include <unistd.h>
+#endif
+
+struct lsra_ctx {
+  int64_t *heap;      /* offset 0: word-addressed heap cells */
+  int64_t heap_words; /* offset 8 */
+  int64_t brk;        /* offset 16: bump-allocation frontier */
+  int64_t fuel;       /* offset 24: decremented per basic block */
+  int64_t trap;       /* offset 32: first trap code, 0 = clean */
+  value cb;           /* offset 40: OCaml ext callback (global root) */
+  void *helper;       /* offset 48: address of lsra_ext_helper */
+  int64_t regs[];     /* offset 56: integer bank, then float bank */
+};
+
+_Static_assert(offsetof(struct lsra_ctx, heap_words) == 8, "ctx layout");
+_Static_assert(offsetof(struct lsra_ctx, brk) == 16, "ctx layout");
+_Static_assert(offsetof(struct lsra_ctx, fuel) == 24, "ctx layout");
+_Static_assert(offsetof(struct lsra_ctx, trap) == 32, "ctx layout");
+_Static_assert(offsetof(struct lsra_ctx, cb) == 40, "ctx layout");
+_Static_assert(offsetof(struct lsra_ctx, helper) == 48, "ctx layout");
+_Static_assert(offsetof(struct lsra_ctx, regs) == 56, "ctx layout");
+
+CAMLprim value lsra_native_available(value unit)
+{
+  (void)unit;
+#ifdef LSRA_NATIVE_AVAILABLE
+  return Val_true;
+#else
+  return Val_false;
+#endif
+}
+
+#ifdef LSRA_NATIVE_AVAILABLE
+
+/* Called from emitted code (SysV: ctx in RDI, id in RSI, integer
+ * argument in RDX, float argument bits in RCX).  ext_alloc is served
+ * here — the heap is C-side state — and everything else routes into
+ * the OCaml callback so byte formatting (puti/putf) is the
+ * interpreter's own code.  The runtime lock is held throughout the
+ * jitted call, so calling back is legal.  An exception in the
+ * callback (including the deliberate one for unknown ids) becomes
+ * trap code 4. */
+static uint64_t lsra_ext_helper(struct lsra_ctx *c, int64_t id,
+                                int64_t iarg, uint64_t fbits)
+{
+  if (id == 5) { /* ext_alloc */
+    if (iarg < 0 || c->brk + iarg > c->heap_words) {
+      c->trap = 4;
+      return 0;
+    }
+    int64_t a = c->brk;
+    c->brk += iarg;
+    memset(c->heap + a, 0, (size_t)iarg * 8);
+    return (uint64_t)a;
+  }
+  double d;
+  memcpy(&d, &fbits, 8);
+  value res = caml_callback3_exn(c->cb, Val_long(id), Val_long(iarg),
+                                 caml_copy_double(d));
+  if (Is_exception_result(res)) {
+    c->trap = 4;
+    return 0;
+  }
+  return (uint64_t)Long_val(res);
+}
+
+#endif
+
+CAMLprim value lsra_native_ctx_create(value vnregs, value vheap,
+                                      value vfuel, value vcb)
+{
+#ifndef LSRA_NATIVE_AVAILABLE
+  (void)vnregs; (void)vheap; (void)vfuel; (void)vcb;
+  caml_failwith("lsra_native: unavailable on this host");
+#else
+  CAMLparam4(vnregs, vheap, vfuel, vcb);
+  intnat nregs = Long_val(vnregs);
+  intnat heap_words = Long_val(vheap);
+  if (nregs < 0 || heap_words < 0)
+    caml_invalid_argument("lsra_native_ctx_create");
+  struct lsra_ctx *c =
+      calloc(1, sizeof(struct lsra_ctx) + (size_t)nregs * 8);
+  if (c == NULL) caml_failwith("lsra_native: ctx allocation failed");
+  c->heap = calloc(heap_words > 0 ? (size_t)heap_words : 1, 8);
+  if (c->heap == NULL) {
+    free(c);
+    caml_failwith("lsra_native: heap allocation failed");
+  }
+  c->heap_words = heap_words;
+  c->fuel = Long_val(vfuel);
+  c->cb = vcb;
+  caml_register_generational_global_root(&c->cb);
+  c->helper = (void *)&lsra_ext_helper;
+  CAMLreturn(caml_copy_nativeint((intnat)c));
+#endif
+}
+
+CAMLprim value lsra_native_ctx_free(value vctx)
+{
+#ifndef LSRA_NATIVE_AVAILABLE
+  (void)vctx;
+  return Val_unit;
+#else
+  struct lsra_ctx *c = (struct lsra_ctx *)Nativeint_val(vctx);
+  if (c != NULL) {
+    caml_remove_generational_global_root(&c->cb);
+    free(c->heap);
+    free(c);
+  }
+  return Val_unit;
+#endif
+}
+
+CAMLprim value lsra_native_ctx_get_reg(value vctx, value vi)
+{
+#ifndef LSRA_NATIVE_AVAILABLE
+  (void)vctx; (void)vi;
+  caml_failwith("lsra_native: unavailable on this host");
+#else
+  struct lsra_ctx *c = (struct lsra_ctx *)Nativeint_val(vctx);
+  return caml_copy_int64(c->regs[Long_val(vi)]);
+#endif
+}
+
+CAMLprim value lsra_native_ctx_trap(value vctx)
+{
+#ifndef LSRA_NATIVE_AVAILABLE
+  (void)vctx;
+  caml_failwith("lsra_native: unavailable on this host");
+#else
+  struct lsra_ctx *c = (struct lsra_ctx *)Nativeint_val(vctx);
+  return Val_long(c->trap);
+#endif
+}
+
+CAMLprim value lsra_native_ctx_fuel(value vctx)
+{
+#ifndef LSRA_NATIVE_AVAILABLE
+  (void)vctx;
+  caml_failwith("lsra_native: unavailable on this host");
+#else
+  struct lsra_ctx *c = (struct lsra_ctx *)Nativeint_val(vctx);
+  return Val_long(c->fuel);
+#endif
+}
+
+#ifdef LSRA_NATIVE_AVAILABLE
+static size_t round_to_pages(size_t len)
+{
+  size_t pg = (size_t)sysconf(_SC_PAGESIZE);
+  size_t sz = (len + pg - 1) / pg * pg;
+  return sz > 0 ? sz : pg;
+}
+#endif
+
+/* mmap RW, copy the code in, mprotect to RX.  Returns the mapping
+ * address, or 0 on failure. */
+CAMLprim value lsra_native_code_map(value vbytes)
+{
+#ifndef LSRA_NATIVE_AVAILABLE
+  (void)vbytes;
+  caml_failwith("lsra_native: unavailable on this host");
+#else
+  CAMLparam1(vbytes);
+  size_t len = caml_string_length(vbytes);
+  size_t sz = round_to_pages(len);
+  void *p = mmap(NULL, sz, PROT_READ | PROT_WRITE,
+                 MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+  if (p == MAP_FAILED) CAMLreturn(caml_copy_nativeint(0));
+  memcpy(p, Bytes_val(vbytes), len);
+  if (mprotect(p, sz, PROT_READ | PROT_EXEC) != 0) {
+    munmap(p, sz);
+    CAMLreturn(caml_copy_nativeint(0));
+  }
+  CAMLreturn(caml_copy_nativeint((intnat)p));
+#endif
+}
+
+CAMLprim value lsra_native_code_unmap(value vcode, value vlen)
+{
+#ifndef LSRA_NATIVE_AVAILABLE
+  (void)vcode; (void)vlen;
+  return Val_unit;
+#else
+  void *p = (void *)Nativeint_val(vcode);
+  if (p != NULL) munmap(p, round_to_pages((size_t)Long_val(vlen)));
+  return Val_unit;
+#endif
+}
+
+CAMLprim value lsra_native_code_run(value vcode, value vctx)
+{
+#ifndef LSRA_NATIVE_AVAILABLE
+  (void)vcode; (void)vctx;
+  caml_failwith("lsra_native: unavailable on this host");
+#else
+  void (*entry)(struct lsra_ctx *) =
+      (void (*)(struct lsra_ctx *))Nativeint_val(vcode);
+  struct lsra_ctx *c = (struct lsra_ctx *)Nativeint_val(vctx);
+  entry(c);
+  return Val_unit;
+#endif
+}

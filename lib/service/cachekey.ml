@@ -30,19 +30,22 @@ let algo_fingerprint (algo : Lsra.Allocator.algorithm) =
     Printf.sprintf "optimal{budget=%d,gate=%d}" opts.Lsra.Optimal.node_budget
       opts.Lsra.Optimal.max_instrs
 
-let digest ~machine ~algo ~passes prog =
+let digest ?backend ~machine ~algo ~passes prog =
   (* NUL separators: no component can masquerade as another by embedding
-     a delimiter (the canonical IR text never contains NUL). *)
+     a delimiter (the canonical IR text never contains NUL). The backend
+     fingerprint is appended only when present, so every pre-existing
+     key — and every journaled store built from one — stays valid. *)
   let key =
     String.concat "\x00"
-      [
-        machine_fingerprint machine;
-        algo_fingerprint algo;
-        Lsra.Passes.to_spec (Lsra.Passes.normalize passes);
-        Lsra_text.Ir_text.to_string prog;
-      ]
+      ([
+         machine_fingerprint machine;
+         algo_fingerprint algo;
+         Lsra.Passes.to_spec (Lsra.Passes.normalize passes);
+         Lsra_text.Ir_text.to_string prog;
+       ]
+      @ match backend with None -> [] | Some b -> [ b ])
   in
   Digest.to_hex (Digest.string key)
 
-let digest_source ~machine ~algo ~passes source =
-  digest ~machine ~algo ~passes (Lsra_text.Ir_text.of_string source)
+let digest_source ?backend ~machine ~algo ~passes source =
+  digest ?backend ~machine ~algo ~passes (Lsra_text.Ir_text.of_string source)

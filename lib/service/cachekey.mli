@@ -27,8 +27,15 @@ val machine_fingerprint : Machine.t -> string
 val algo_fingerprint : Lsra.Allocator.algorithm -> string
 
 (** [digest ~machine ~algo ~passes prog] is the content address (an MD5
-    hex string) of allocating [prog] under exactly this configuration. *)
+    hex string) of allocating [prog] under exactly this configuration.
+    [backend], when given, joins the digested material — native-mode
+    servers pass the machine-code fingerprint
+    ({!Lsra_native.Lower.fingerprint}) so entries produced under one
+    encoding scheme can never answer for another, and a fingerprint bump
+    invalidates the whole native keyspace without touching pure-IR
+    entries (the default digest is unchanged). *)
 val digest :
+  ?backend:string ->
   machine:Machine.t ->
   algo:Lsra.Allocator.algorithm ->
   passes:Lsra.Passes.t list ->
@@ -39,6 +46,7 @@ val digest :
     {!Lsra_text.Ir_text.Parse_error} / [Cfg.Malformed] as the parser
     does. *)
 val digest_source :
+  ?backend:string ->
   machine:Machine.t ->
   algo:Lsra.Allocator.algorithm ->
   passes:Lsra.Passes.t list ->

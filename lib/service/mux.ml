@@ -348,7 +348,21 @@ let reap t =
 
 let drained_all t = List.for_all (fun c -> c.dead || wq_len c = 0) t.conns
 
+(* select(2) cannot watch a file descriptor numbered FD_SETSIZE or
+   higher: once that many clients (plus the listener and stdio) are
+   connected, further accepts would produce descriptors select silently
+   cannot monitor — connections that hang forever, not a clean error.
+   POSIX fixes FD_SETSIZE at 1024 on every platform this builds on, so
+   reject impossible limits at startup rather than degrade at load. *)
+let fd_setsize = 1024
+
 let run ?(max_clients = 64) sched lsock =
+  if max_clients >= fd_setsize then
+    invalid_arg
+      (Printf.sprintf
+         "Mux.run: max_clients %d is not serveable — select(2) cannot \
+          watch more than FD_SETSIZE (%d) descriptors; use %d or fewer"
+         max_clients fd_setsize (fd_setsize - 1));
   (* A client that hangs up right before we answer must surface as
      EPIPE on the write (handled per connection), not as a SIGPIPE that
      kills the whole server. *)

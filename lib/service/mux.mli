@@ -27,5 +27,11 @@
     [QUIT]; pending responses are drained before returning. Closes every
     client connection but {e not} [lsock]. Returns the worst severity
     seen across all connections (0, 3 or 4). Raises [Failure] on a
-    request/response pairing violation — an internal invariant. *)
+    request/response pairing violation — an internal invariant.
+
+    Raises [Invalid_argument] when [max_clients >= 1024] (POSIX
+    [FD_SETSIZE]): [select(2)] cannot watch descriptors past that
+    limit, so such a configuration would not fail cleanly under load —
+    it would accept connections it can never service. The check runs at
+    startup, before the first accept. *)
 val run : ?max_clients:int -> Scheduler.t -> Unix.file_descr -> int

@@ -117,13 +117,15 @@ let render_frame line payload =
     Printf.sprintf "%s len=%d\n%s" line (String.length body) body
 
 let err_code_of_exn = function
-  | Service.Spot_check_failed _ -> 4
+  | Service.Spot_check_failed _ | Service.Native_emit_failed _ -> 4
   | Lsra.Verify.Mismatch _ -> 3
   | _ -> 1
 
 let err_message_of_exn = function
   | Service.Spot_check_failed { req_id = _; key } ->
     Printf.sprintf "spot-check divergence on cache key %s" key
+  | Service.Native_emit_failed { req_id = _; msg } ->
+    Printf.sprintf "native emission failed: %s" msg
   | Lsra.Verify.Mismatch { fn; block; where; what } ->
     Printf.sprintf "verification failed in function '%s', block '%s', at \
                     '%s': %s" fn block where what

@@ -13,6 +13,9 @@ type config = {
   store_dir : string option;
   store_bytes : int;
   store_sync : Store.sync_mode;
+  native : bool;
+      (* cold fills must also emit x86-64 machine code, and cache keys
+         carry the encoder fingerprint *)
 }
 
 let default_config machine =
@@ -28,6 +31,7 @@ let default_config machine =
     store_dir = None;
     store_bytes = 16 * 1024 * 1024;
     store_sync = Store.Never;
+    native = false;
   }
 
 type request = {
@@ -53,6 +57,8 @@ type response = {
 }
 
 exception Spot_check_failed of { req_id : string; key : string }
+
+exception Native_emit_failed of { req_id : string; msg : string }
 
 type t = {
   cfg : config;
@@ -271,12 +277,23 @@ let degrade t ~req_id ~budget ~n_instrs requested =
   end;
   effective
 
-let compile t ~passes algo prog =
+let compile t ~req_id ~passes algo prog =
   let t0 = Unix.gettimeofday () in
   let stats =
     Lsra.Allocator.pipeline ~precheck:true ~verify:t.cfg.verify_cold ~passes
       algo t.cfg.machine prog
   in
+  (* Native mode: the allocation only counts when it also encodes — a
+     program the backend cannot emit must fail the request loudly, not
+     poison the cache with an entry no native consumer can use. The
+     machine code itself is not cached (it is cheap to re-emit and
+     address-free by construction); the entry's key carries the encoder
+     fingerprint instead. *)
+  if t.cfg.native then begin
+    match Lsra_native.Lower.compile t.cfg.machine prog with
+    | Ok _ -> ()
+    | Error msg -> raise (Native_emit_failed { req_id; msg })
+  end;
   let dt = Unix.gettimeofday () -. t0 in
   (stats, dt)
 
@@ -301,7 +318,10 @@ let handle t (req : request) =
   let canonical = Lsra_text.Ir_text.to_string prog in
   let passes = Lsra.Passes.normalize req.passes in
   let key_of algo =
-    Cachekey.digest ~machine:t.cfg.machine ~algo ~passes prog
+    let backend =
+      if t.cfg.native then Some Lsra_native.Lower.fingerprint else None
+    in
+    Cachekey.digest ?backend ~machine:t.cfg.machine ~algo ~passes prog
   in
   let respond ~key ~cached ~downgraded_to ~output ~(stats : Lsra.Stats.t) =
     {
@@ -348,7 +368,7 @@ let handle t (req : request) =
       match cache_find t key with
       | Some entry -> serve_hit ~key ~downgraded_to effective entry
       | None ->
-        let stats, dt = compile t ~passes effective prog in
+        let stats, dt = compile t ~req_id:req.req_id ~passes effective prog in
         observe t effective n_instrs dt;
         let output = Lsra_text.Ir_text.to_string prog in
         cache_fill t key
@@ -360,7 +380,7 @@ let handle t (req : request) =
         stats.Lsra.Stats.downgrades <- 1;
         respond ~key ~cached:false ~downgraded_to ~output ~stats
     else begin
-      let stats, dt = compile t ~passes effective prog in
+      let stats, dt = compile t ~req_id:req.req_id ~passes effective prog in
       observe t effective n_instrs dt;
       let output = Lsra_text.Ir_text.to_string prog in
       cache_fill t requested_key

@@ -57,6 +57,15 @@ type config = {
       (** journal append durability: [Store.Never] (default) flushes
           but never fsyncs; [Store.Batch] fsyncs at the scheduler's
           batch boundaries (see {!sync_store}) *)
+  native : bool;
+      (** native-backend mode (default [false]): every cold fill must
+          also emit x86-64 machine code with {!Lsra_native.Lower}
+          (an unemittable allocation raises {!Native_emit_failed}
+          instead of filling the cache), and cache keys carry the
+          encoder fingerprint — native entries never collide with
+          pure-IR entries, and a fingerprint bump invalidates them
+          wholesale. Emission is host-independent, so the mode works on
+          any machine; only {e executing} the code needs x86-64. *)
 }
 
 val default_config : Machine.t -> config
@@ -93,6 +102,10 @@ type response = {
     the cache returned a stale/corrupt payload or the allocator is not
     deterministic. Fatal — the bit-identical guarantee is broken. *)
 exception Spot_check_failed of { req_id : string; key : string }
+
+(** Native mode only: the allocated program could not be encoded. The
+    request fails (ERR 4 on the wire) and nothing is cached. *)
+exception Native_emit_failed of { req_id : string; msg : string }
 
 type t
 

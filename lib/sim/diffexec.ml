@@ -230,6 +230,93 @@ let check_pipeline ?(fuel = 200_000_000) ?(verify = true) ?(input = "")
     with Stop d -> Error d)
 
 (* ------------------------------------------------------------------ *)
+(* Native cross-check                                                  *)
+
+type native_status =
+  | Native_ok of { code_bytes : int }
+  | Native_skipped of string
+      (** nothing to compare: non-x86-64 host, a trapping reference run
+          (native semantics are only pinned on interpreter-clean
+          executions), or an interpreter-level divergence that the
+          ordinary oracle owns *)
+  | Native_diverged of string
+
+let native_available () = Lsra_native.Exec.available ()
+
+let truncated s =
+  if String.length s <= 160 then s else String.sub s 0 160 ^ "…"
+
+(* The native oracle sandwich: interpret the program before allocation,
+   allocate through the managed pipeline, re-interpret, then emit and
+   execute real x86-64 — and require the machine's observables (ext
+   output bytes and the integer return register) to match the
+   post-allocation interpreter run exactly. Comparison is gated on both
+   interpreter runs being clean and agreeing: trapping or diverging
+   programs are the ordinary {!check_pipeline} oracle's findings, not
+   the encoder's. *)
+let check_native ?(fuel = 200_000_000) ?(input = "")
+    ?(passes = Lsra.Passes.all) machine algo prog =
+  if not (native_available ()) then
+    Native_skipped "host is not x86-64"
+  else
+    match Interp.run ~fuel machine prog ~input with
+    | Error e -> Native_skipped ("reference run traps: " ^ e)
+    | Ok reference -> (
+      let copy = Program.copy prog in
+      match
+        Lsra.Allocator.pipeline ~precheck:false ~verify:false ~passes algo
+          machine copy
+      with
+      | exception e ->
+        Native_skipped ("allocator raised: " ^ Printexc.to_string e)
+      | _stats -> (
+        match Interp.run ~fuel machine copy ~input with
+        | Error e -> Native_skipped ("allocated run traps: " ^ e)
+        | Ok expected ->
+          if reference.Interp.output <> expected.Interp.output then
+            Native_skipped "interpreter runs diverge (allocator bug)"
+          else (
+            match Lsra_native.Lower.compile machine copy with
+            | Error e -> Native_diverged ("emission failed: " ^ e)
+            | Ok compiled -> (
+              match
+                Lsra_native.Exec.run_compiled ~fuel ~input compiled
+                  ~heap_words:(Program.heap_words prog)
+              with
+              | exception Failure e ->
+                Native_diverged ("native execution failed: " ^ e)
+              | native -> (
+                match native.Lsra_native.Exec.trap with
+                | Some t ->
+                  Native_diverged
+                    ("native run trapped on an interpreter-clean program: "
+                   ^ t)
+                | None ->
+                  if
+                    native.Lsra_native.Exec.output
+                    <> expected.Interp.output
+                  then
+                    Native_diverged
+                      (Printf.sprintf
+                         "output mismatch: interpreter %S, native %S"
+                         (truncated expected.Interp.output)
+                         (truncated native.Lsra_native.Exec.output))
+                  else (
+                    match expected.Interp.ret with
+                    | Value.Int want
+                      when want <> native.Lsra_native.Exec.ret ->
+                      Native_diverged
+                        (Printf.sprintf
+                           "return-value mismatch: interpreter %d, native \
+                            %d" want native.Lsra_native.Exec.ret)
+                    | Value.Int _ | Value.Flt _ | Value.Undef ->
+                      Native_ok
+                        {
+                          code_bytes =
+                            native.Lsra_native.Exec.code_bytes;
+                        }))))))
+
+(* ------------------------------------------------------------------ *)
 (* Shrinking                                                           *)
 
 (* A failure still counts only if the *pre-allocation* program stays

@@ -112,6 +112,40 @@ val check_pipeline :
   Program.t ->
   (Lsra.Stats.t, divergence) result
 
+(** Result of a native-versus-interpreter cross-check. *)
+type native_status =
+  | Native_ok of { code_bytes : int }
+  | Native_skipped of string
+      (** nothing to compare: non-x86-64 host, a trapping reference run
+          (native semantics are only pinned on interpreter-clean
+          executions), or an interpreter-level divergence that
+          {!check_pipeline} owns *)
+  | Native_diverged of string
+      (** the emitted machine code disagrees with the post-allocation
+          interpreter run — an encoder/lowering bug, or a failure to
+          emit an interpreter-clean allocated program at all *)
+
+(** Whether {!check_native} can actually execute code on this host. *)
+val native_available : unit -> bool
+
+(** The native oracle sandwich: interpret [prog] before allocation,
+    allocate it through the managed pipeline ([passes] defaults to
+    {!Lsra.Passes.all}), re-interpret, then emit x86-64 with
+    {!Lsra_native.Lower.compile}, execute it in-process and require the
+    machine-level observables — the ext output bytes and the integer
+    return register — to match the post-allocation interpreter run
+    exactly. Comparison is gated on both interpreter runs being clean
+    and agreeing, so a [Native_diverged] always indicts the native
+    backend, never the allocator. *)
+val check_native :
+  ?fuel:int ->
+  ?input:string ->
+  ?passes:Lsra.Passes.t list ->
+  Machine.t ->
+  Lsra.Allocator.algorithm ->
+  Program.t ->
+  native_status
+
 (** Greedy delta-debugging of a failing program: repeatedly delete one
     instruction or straighten one conditional branch, keeping an edit
     only while the reference run stays well-defined {e and} the

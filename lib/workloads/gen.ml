@@ -37,6 +37,26 @@ let default_params =
     float_frac = 0.3;
   }
 
+(* Call-dense, deep-spill profile: many IR calls per function (so
+   callee-saved save/restore sequences and caller-saved clobbers fire
+   constantly) and far more live loop-carried accumulators than any
+   machine has registers, forcing whole-lifetime spills with [Slots]
+   frame indices around nested control flow — the shapes that stress a
+   native backend's frame addressing and call protocol hardest. *)
+let hostile_params ~seed =
+  {
+    seed;
+    n_funcs = 4;
+    n_temps = 24;
+    n_stmts = 28;
+    max_depth = 3;
+    call_prob = 0.45;
+    ext_call_prob = 0.15;
+    switch_prob = 0.15;
+    carried = 8;
+    float_frac = 0.35;
+  }
+
 module B = Builder
 
 type genstate = {

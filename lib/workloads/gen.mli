@@ -29,4 +29,11 @@ type params = {
 }
 
 val default_params : params
+
+(** Call-dense, deep-spill profile: high [call_prob]/[ext_call_prob] and
+    many loop-carried accumulators per loop, so generated programs are
+    dominated by call-boundary save/restore traffic and whole-lifetime
+    spills to [Slots] frame indices — the stress shape for the native
+    backend's frame addressing and call protocol. *)
+val hostile_params : seed:int -> params
 val program : ?params:params -> Machine.t -> Program.t

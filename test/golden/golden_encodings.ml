@@ -1,0 +1,128 @@
+(* Golden byte-level encodings: the native backend's annotated listing
+   (including every instruction's hex bytes) for hand-written
+   post-allocation programs, diffed against the committed expectation by
+   the runtest rule in this directory. The programs are written directly
+   in machine registers and spill slots, so no allocator runs: any byte
+   change here is an encoder/lowering change, not an allocation change.
+   Emission is pure OCaml and host-independent — this fixture runs (and
+   must agree) on non-x86-64 hosts too. After reviewing a diff, refresh
+   with
+
+     dune promote test/golden/encodings.expected
+*)
+
+open Lsra_target
+
+let print_listing header machine source =
+  let prog = Lsra_text.Ir_text.of_string source in
+  Printf.printf "==== %s ====\n" header;
+  match Lsra_native.Lower.compile machine prog with
+  | Error e -> Printf.printf "emission failed: %s\n" e
+  | Ok compiled -> print_string (Lsra_native.Lower.dump_asm compiled)
+
+(* Integer ALU coverage on the 4-register small machine: every binop
+   (including the div/rem guard and the shift-normalisation sequences),
+   every unop, compares into a register, a conditional branch and the
+   immediate paths (imm32 vs movabs). All four registers are in the
+   direct pool, so this pins the register-register encodings. *)
+let int_ops =
+  {|program main=main heap=16
+
+func main {
+  block entry:
+    $r0 := 7
+    $r1 := 1000000000000
+    $r2 := add $r0, $r1
+    $r2 := sub $r2, 3
+    $r3 := mul $r2, $r0
+    $r3 := div $r3, $r0
+    $r2 := rem $r3, 10
+    $r2 := and $r2, $r3
+    $r2 := or $r2, 1
+    $r2 := xor $r2, $r0
+    $r3 := sll $r2, 2
+    $r3 := srl $r3, 1
+    $r3 := sra $r3, 1
+    $r1 := neg $r3
+    $r1 := not $r1
+    $r0 := cmp.lt $r1, $r3
+    br.ge $r1, 0 ? big : done
+  block big:
+    $r0 := cmp.eq $r1, $r3
+    jump done
+  block done:
+    ret
+}
+|}
+
+(* Floats, spill slots and the heap: float arithmetic through the xmm
+   scratch pair, NaN-correct compares, conversions, sign-bit negation,
+   both classes round-tripping through slots, and the two-stage
+   bounds-checked heap addressing. *)
+let float_slots =
+  {|program main=main heap=16
+
+func main {
+  block entry:
+    $f0 := 0x1.8p+0
+    $f1 := 0x1p-1
+    $f2 := fadd $f0, $f1
+    $f2 := fsub $f2, $f1
+    $f3 := fmul $f2, $f0
+    $f3 := fdiv $f3, $f2
+    $f1 := fneg $f3
+    $r1 := cmp.feq $f1, $f3
+    $r2 := cmp.flt $f1, $f3
+    $r3 := cmp.fle $f0, $f1
+    $f2 := itof $r1
+    $r2 := ftoi $f2
+    sstore $f3, slot0
+    sstore $r2, slot1
+    $f0 := sload slot0
+    $r3 := sload slot1
+    $r0 := 4
+    store $r3, $r0[0]
+    store $f0, $r0[3]
+    $r1 := load $r0[0]
+    $f1 := load $r0[3]
+    ret
+}
+|}
+
+(* Calls on an 8-register machine: registers 4..7 live in the context
+   bank (pinning the banked load/store encodings), an IR call saves and
+   restores the abstract callee-saved set around the frame's save area,
+   and an ext intrinsic routes through the helper slot with a trap check
+   on return. *)
+let calls_banked =
+  {|program main=main heap=16
+
+func main {
+  block entry:
+    $r5 := 11
+    $r6 := add $r5, 1
+    $f5 := 0x1p+0
+    $r1 := 2
+    call helper($r1) -> $r0 ! $r0 $r1 $r2 $r3 $f0 $f1 $f2 $f3
+    $r7 := add $r0, $r6
+    $r1 := $r7
+    call ext_puti($r1) -> $r0 ! $r0 $r1 $r2 $r3 $f0 $f1 $f2 $f3
+    ret
+
+}
+
+func helper {
+  block entry:
+    $r0 := mul $r1, 3
+    ret
+}
+|}
+
+let () =
+  print_listing "int ops, small-4" (Machine.small ()) int_ops;
+  print_listing "floats + slots + heap, small-4" (Machine.small ())
+    float_slots;
+  print_listing "calls + banked registers, small-8"
+    (Machine.small ~int_regs:8 ~float_regs:8 ~int_caller_saved:4
+       ~float_caller_saved:4 ())
+    calls_banked

@@ -25,4 +25,5 @@ let () =
       ("service", Suite_service.suite);
       ("server", Suite_server.suite);
       ("parallel", Suite_parallel.suite);
+      ("native", Suite_native.suite);
     ]
